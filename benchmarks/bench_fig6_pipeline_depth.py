@@ -1,0 +1,32 @@
+"""Figure 6: pipeline-depth sweep of the best configuration C2.
+
+Paper: energy savings grow from ~11% at 6 stages to ~17% at 28; E-D
+improvement from ~5.4% to ~12%; slowdown roughly flat (5-6%)."""
+
+from benchmarks.conftest import bench_instructions, run_once
+from repro.experiments.figures import figure6, format_sweep
+
+DEPTHS = (6, 14, 28)
+
+
+def test_figure6_pipeline_depth(benchmark, capsys):
+    sweep = run_once(
+        benchmark,
+        lambda: figure6(depths=DEPTHS, instructions=bench_instructions()),
+    )
+    with capsys.disabled():
+        print()
+        print(format_sweep("figure6 (C2)", sweep, "depth"))
+
+    # Deeper pipelines waste more energy on the wrong path, so Selective
+    # Throttling recovers more (the paper's headline trend).
+    assert (
+        sweep[DEPTHS[-1]]["energy_savings_pct"]
+        > sweep[DEPTHS[0]]["energy_savings_pct"] - 0.5
+    )
+    for depth, row in sweep.items():
+        benchmark.extra_info[f"depth{depth}"] = {
+            "speedup": round(row["speedup"], 3),
+            "energy": round(row["energy_savings_pct"], 2),
+            "ed": round(row["ed_improvement_pct"], 2),
+        }

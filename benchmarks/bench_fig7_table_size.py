@@ -1,0 +1,33 @@
+"""Figure 7: predictor + confidence estimator total-size sweep for C2.
+
+Paper: power savings shrink as tables grow (20.3% at 8 KB to 16.5% at
+64 KB) while energy savings and E-D improvement stay roughly flat
+(11-12% and 4-5%)."""
+
+from benchmarks.conftest import bench_instructions, run_once
+from repro.experiments.figures import figure7, format_sweep
+
+SIZES = (8, 16, 64)
+
+
+def test_figure7_table_size(benchmark, capsys):
+    sweep = run_once(
+        benchmark,
+        lambda: figure7(total_sizes_kb=SIZES, instructions=bench_instructions()),
+    )
+    with capsys.disabled():
+        print()
+        print(format_sweep("figure7 (C2)", sweep, "total KB"))
+
+    # Larger tables predict better, leaving less waste to throttle away:
+    # power savings must not grow with size.
+    assert (
+        sweep[SIZES[-1]]["power_savings_pct"]
+        <= sweep[SIZES[0]]["power_savings_pct"] + 3.0
+    )
+    for size, row in sweep.items():
+        benchmark.extra_info[f"{size}KB"] = {
+            "speedup": round(row["speedup"], 3),
+            "energy": round(row["energy_savings_pct"], 2),
+            "ed": round(row["ed_improvement_pct"], 2),
+        }

@@ -1,0 +1,43 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints it
+paper-style.  Run lengths are deliberately modest so the whole harness
+completes on a laptop; raise them for a higher-fidelity pass::
+
+    REPRO_BENCH_INSTRUCTIONS=60000 REPRO_BENCH_WARMUP=20000 \
+        pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+def bench_instructions() -> int:
+    """Measured instructions per simulation in the benchmark harness."""
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "12000"))
+
+
+def bench_warmup() -> int:
+    """Warm-up instructions per simulation in the benchmark harness."""
+    return int(os.environ.get("REPRO_BENCH_WARMUP", "4000"))
+
+
+@pytest.fixture()
+def runner() -> ExperimentRunner:
+    """A fresh experiment runner at benchmark scale."""
+    return ExperimentRunner(instructions=bench_instructions(), warmup=bench_warmup())
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are long simulations; repeating them inside the
+    benchmark loop would multiply minutes of runtime for no statistical
+    benefit, so every figure is timed as a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,89 @@
+"""Bring your own workload: define a synthetic program, then evaluate
+Selective Throttling on it.
+
+The eight shipped benchmarks are calibrated stand-ins for the paper's
+SPECint selection, but the generator is a general tool: this example
+builds a "branchy pointer-chaser" from scratch, measures its gshare
+behaviour, and compares throttling policies on it.
+
+Usage::
+
+    python examples/custom_workload.py [instructions]
+"""
+
+import sys
+
+from repro.core.throttler import SelectiveThrottler
+from repro.core.policy import experiment_policy
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor
+from repro.program.generator import ProgramGenerator, ProgramShape
+
+
+def build_shape() -> ProgramShape:
+    """A hostile workload: dense, noisy branches over pointer chains."""
+    return ProgramShape(
+        num_functions=16,
+        blocks_per_function=(10, 18),
+        block_size=(3, 9),
+        loop_fraction=0.35,
+        loop_trip_range=(4, 18),
+        loop_jitter=0.3,          # data-dependent trip counts
+        w_biased=0.30,
+        w_pattern=0.10,
+        w_correlated=0.15,
+        w_random=0.10,            # 50/50 branches: the predictor's nightmare
+        w_bad=0.15,
+        bad_strength=(0.55, 0.75),
+        serial_chain_fraction=0.30,
+        hard_branch_chain=0.7,    # most hard branches test missing loads
+    )
+
+
+def run(program_seed: int, policy_name, instructions: int):
+    program = ProgramGenerator(build_shape(), program_seed, name="chaser").generate()
+    controller = None
+    if policy_name is not None:
+        controller = SelectiveThrottler(experiment_policy(policy_name))
+    processor = Processor(
+        table3_config(), program, controller=controller, seed=program_seed
+    )
+    processor.run(instructions, warmup_instructions=instructions // 3)
+    return processor
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    seed = 424242
+
+    baseline = run(seed, None, instructions)
+    stats = baseline.stats
+    model = baseline.power
+    print("custom workload 'chaser' under the Table-3 machine:")
+    print(f"  IPC                    {stats.ipc:6.2f}")
+    print(f"  gshare miss rate       {stats.branch_miss_rate * 100:6.1f}%")
+    print(f"  wrong-path fetches     "
+          f"{100 * stats.fetched_wrong_path / stats.fetched:6.1f}%")
+    print(f"  wasted energy          "
+          f"{100 * model.total_wasted_energy() / model.total_energy():6.1f}%")
+
+    print(f"\n{'policy':8s} {'speedup':>8s} {'power%':>8s} {'energy%':>8s}")
+    base_cycles = stats.cycles
+    base_energy = model.total_energy()
+    base_power = model.average_power()
+    for name in ("A1", "A5", "C2", "C6"):
+        throttled = run(seed, name, instructions)
+        t_model = throttled.power
+        speedup = base_cycles / throttled.stats.cycles
+        power = 100 * (1 - t_model.average_power() / base_power)
+        energy = 100 * (1 - t_model.total_energy() / base_energy)
+        print(f"{name:8s} {speedup:8.3f} {power:8.2f} {energy:8.2f}")
+
+    print(
+        "\nOn branch-hostile code the aggressive policies shine: compare the"
+        "\nsame table on a predictable workload by lowering w_random/w_bad."
+    )
+
+
+if __name__ == "__main__":
+    main()

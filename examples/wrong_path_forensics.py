@@ -1,0 +1,64 @@
+"""Watch mis-speculation happen: pipetraces and wrong-path shadows.
+
+Runs a short window of *go* (the suite's worst mispredictor) with the
+pipeline tracer attached and prints:
+
+1. a classic pipetrace around a misprediction (wrong-path µops render in
+   lower case);
+2. the wrong-path "shadow" behind each mispredicted branch — how many
+   µops were fetched and how many made it all the way to issue before the
+   squash (the work whose energy Table 1 calls wasted);
+3. an instruction-lifetime histogram.
+
+Usage::
+
+    python examples/wrong_path_forensics.py [benchmark]
+"""
+
+import sys
+
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor
+from repro.tracing import PipelineTracer, render_pipetrace, stage_occupancy_histogram
+from repro.tracing.render import wrong_path_shadow_report
+from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "go"
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark; choose from {BENCHMARK_NAMES}")
+
+    spec = benchmark_spec(name)
+    processor = Processor(table3_config(), spec.build_program(), seed=spec.seed)
+    tracer = PipelineTracer(capacity=20_000)
+    processor.observer = tracer
+    processor.run(6_000, warmup_instructions=1_000)
+
+    traces = tracer.traces()
+    branches = tracer.mispredicted_branches()
+    print(f"{name}: {tracer.committed_count} committed, "
+          f"{tracer.squashed_count} squashed in the traced window")
+    print(f"mispredicted branches seen: {len(branches)}\n")
+
+    # 1. Pipetrace around the first mispredicted branch in the window.
+    if branches:
+        anchor = branches[0].seq
+        window = [t for t in traces if anchor - 4 <= t.seq <= anchor + 20]
+        print("=== pipetrace around a misprediction "
+              "(lower case = wrong path) ===")
+        print(render_pipetrace(window))
+        print()
+
+    # 2. Wrong-path shadows.
+    print("=== wrong-path shadow per mispredicted branch ===")
+    print(wrong_path_shadow_report(traces))
+    print()
+
+    # 3. Lifetime histogram.
+    print("=== instruction lifetimes ===")
+    print(stage_occupancy_histogram(traces, bucket=8))
+
+
+if __name__ == "__main__":
+    main()

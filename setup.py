@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (the PEP 517 editable path requires bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro — reproduction of "Power-Aware Control Speculation through
+Selective Throttling" (Aragón, González & González, HPCA 2003).
+
+The package provides, from scratch:
+
+* a cycle-level 8-wide out-of-order processor simulator with real
+  wrong-path fetch/decode/execute (:mod:`repro.pipeline`),
+* a Wattch-style power model with cc3 clock gating and wasted-work
+  attribution (:mod:`repro.power`),
+* branch predictors and confidence estimators (:mod:`repro.bpred`,
+  :mod:`repro.confidence`),
+* the paper's Selective Throttling mechanism, Pipeline Gating baseline and
+  oracle limit studies (:mod:`repro.core`),
+* eight synthetic SPECint-like benchmarks calibrated to the paper's
+  Table 2 (:mod:`repro.workloads`),
+* drivers regenerating every table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ExperimentRunner, compare
+
+    runner = ExperimentRunner()
+    baseline = runner.baseline("go")
+    throttled = runner.run("go", ("throttle", "C2"))
+    print(compare(baseline, throttled))
+"""
+
+from repro.bpred import GSharePredictor
+from repro.confidence import (
+    BPRUEstimator,
+    ConfidenceLevel,
+    ConfidenceMatrix,
+    JRSEstimator,
+    PerfectEstimator,
+)
+from repro.core import (
+    BandwidthLevel,
+    OracleController,
+    OracleMode,
+    PipelineGatingController,
+    SelectiveThrottler,
+    ThrottleAction,
+    ThrottlePolicy,
+    experiment_policy,
+    list_experiments,
+)
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.experiments.results import ComparisonResult, SimulationResult, compare
+from repro.experiments.runner import ExperimentRunner, make_controller, run_benchmark
+from repro.pipeline import Processor, ProcessorConfig, table3_config
+from repro.power import ClockGatingStyle, PowerModel, PowerUnit, default_unit_powers
+from repro.workloads import BENCHMARK_NAMES, benchmark_program, benchmark_spec, load_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # pipeline
+    "Processor",
+    "ProcessorConfig",
+    "table3_config",
+    # core mechanism
+    "ConfidenceLevel",
+    "BandwidthLevel",
+    "ThrottleAction",
+    "ThrottlePolicy",
+    "SelectiveThrottler",
+    "PipelineGatingController",
+    "OracleController",
+    "OracleMode",
+    "experiment_policy",
+    "list_experiments",
+    # predictors / estimators
+    "GSharePredictor",
+    "BPRUEstimator",
+    "JRSEstimator",
+    "PerfectEstimator",
+    "ConfidenceMatrix",
+    # power
+    "PowerModel",
+    "PowerUnit",
+    "ClockGatingStyle",
+    "default_unit_powers",
+    # workloads
+    "BENCHMARK_NAMES",
+    "benchmark_spec",
+    "benchmark_program",
+    "load_suite",
+    # experiments
+    "ExperimentRunner",
+    "run_benchmark",
+    "make_controller",
+    "SimulationResult",
+    "ComparisonResult",
+    "compare",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProgramError",
+    "SimulationError",
+    "WorkloadError",
+    "ExperimentError",
+]

@@ -1,0 +1,53 @@
+"""Bimodal predictor: a PC-indexed table of 2-bit saturating counters."""
+
+from __future__ import annotations
+
+from repro.bpred.base import BranchPredictor, Prediction
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bit_mask, log2_exact
+
+COUNTER_BITS = 2
+_COUNTER_MAX = (1 << COUNTER_BITS) - 1
+_TAKEN_THRESHOLD = 1 << (COUNTER_BITS - 1)
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit counters; history-free, so nothing to repair on squash."""
+
+    name = "bimodal"
+
+    def __init__(self, size_kb: int = 8) -> None:
+        if size_kb <= 0:
+            raise ConfigurationError(f"bimodal size must be positive, got {size_kb} KB")
+        self.size_kb = size_kb
+        entries = size_kb * 1024 * 8 // COUNTER_BITS
+        self.index_bits = log2_exact(entries)
+        self.entries = entries
+        self._mask = bit_mask(self.index_bits)
+        self.table = [_TAKEN_THRESHOLD] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> Prediction:
+        counter = self.table[self._index(pc)]
+        return Prediction(counter >= _TAKEN_THRESHOLD, None)
+
+    def restore(self, snapshot, actual_taken: bool) -> None:
+        # No speculative state.
+        return None
+
+    def train(self, pc: int, taken: bool, snapshot=None) -> None:
+        index = self._index(pc)
+        counter = self.table[index]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+
+    def counter_strength(self, pc: int, snapshot=None) -> int:
+        return self.table[self._index(pc)]
+
+    def storage_bits(self) -> int:
+        return self.entries * COUNTER_BITS

@@ -1,0 +1,75 @@
+"""McFarling combining predictor: gshare + bimodal with a chooser table."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bpred.base import BranchPredictor, Prediction
+from repro.bpred.bimodal import BimodalPredictor
+from repro.bpred.gshare import GSharePredictor
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bit_mask, log2_exact
+
+_CHOOSER_BITS = 2
+_CHOOSER_MAX = (1 << _CHOOSER_BITS) - 1
+_USE_GSHARE = 1 << (_CHOOSER_BITS - 1)
+
+
+class HybridPredictor(BranchPredictor):
+    """Chooser selects between a gshare and a bimodal component per branch."""
+
+    name = "hybrid"
+
+    def __init__(self, size_kb: int = 8) -> None:
+        if size_kb < 2 or size_kb % 2:
+            raise ConfigurationError("hybrid size must be an even number of KB >= 2")
+        component_kb = size_kb // 2
+        self.gshare = GSharePredictor(component_kb)
+        self.bimodal = BimodalPredictor(component_kb)
+        chooser_entries = component_kb * 1024 * 8 // _CHOOSER_BITS
+        self._chooser_mask = bit_mask(log2_exact(chooser_entries))
+        self.chooser = [_USE_GSHARE] * chooser_entries
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & self._chooser_mask
+
+    def predict(self, pc: int) -> Prediction:
+        gshare_pred = self.gshare.predict(pc)
+        bimodal_pred = self.bimodal.predict(pc)
+        use_gshare = self.chooser[self._chooser_index(pc)] >= _USE_GSHARE
+        taken = gshare_pred.taken if use_gshare else bimodal_pred.taken
+        # gshare history must track the *final* direction, not its own guess.
+        if gshare_pred.taken != taken:
+            self.gshare.restore(gshare_pred.snapshot, taken)
+        snapshot = (gshare_pred.snapshot, gshare_pred.taken, bimodal_pred.taken)
+        return Prediction(taken, snapshot)
+
+    def restore(self, snapshot: Tuple[int, bool, bool], actual_taken: bool) -> None:
+        ghr_snapshot, _, _ = snapshot
+        self.gshare.restore(ghr_snapshot, actual_taken)
+
+    def train(self, pc: int, taken: bool, snapshot: Tuple[int, bool, bool]) -> None:
+        ghr_snapshot, gshare_taken, bimodal_taken = snapshot
+        self.gshare.train(pc, taken, ghr_snapshot)
+        self.bimodal.train(pc, taken)
+        gshare_correct = gshare_taken == taken
+        bimodal_correct = bimodal_taken == taken
+        if gshare_correct == bimodal_correct:
+            return
+        index = self._chooser_index(pc)
+        counter = self.chooser[index]
+        if gshare_correct and counter < _CHOOSER_MAX:
+            self.chooser[index] = counter + 1
+        elif bimodal_correct and counter > 0:
+            self.chooser[index] = counter - 1
+
+    def counter_strength(self, pc: int, snapshot: Tuple[int, bool, bool]) -> int:
+        ghr_snapshot, _, _ = snapshot
+        return self.gshare.counter_strength(pc, ghr_snapshot)
+
+    def storage_bits(self) -> int:
+        return (
+            self.gshare.storage_bits()
+            + self.bimodal.storage_bits()
+            + len(self.chooser) * _CHOOSER_BITS
+        )

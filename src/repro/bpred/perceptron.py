@@ -1,0 +1,115 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+A contemporary of the paper, included for predictor ablations and because
+its output *magnitude* is a natural confidence signal (see
+:class:`repro.confidence.selfconf.PerceptronConfidenceEstimator`).
+
+Each branch hashes to a row of small integer weights, one per global
+history bit plus a bias.  The prediction is the sign of
+``bias + sum(w_i * h_i)`` with history bits encoded as +-1; training
+adjusts the weights (clipped to ``weight_max``) when the prediction was
+wrong or the output magnitude fell below the training threshold
+``theta = 1.93 * history_bits + 14`` (the published heuristic).
+
+History is updated speculatively at predict time and repaired from the
+prediction snapshot on a misprediction, exactly like the gshare model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.bpred.base import BranchPredictor, Prediction
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bit_mask
+
+WEIGHT_BITS = 8  # signed weights, [-128, 127]
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron with speculative history update."""
+
+    name = "perceptron"
+
+    def __init__(self, size_kb: int = 8, history_bits: int = 24) -> None:
+        if size_kb <= 0:
+            raise ConfigurationError(
+                f"perceptron size must be positive, got {size_kb} KB"
+            )
+        if not 1 <= history_bits <= 64:
+            raise ConfigurationError(
+                f"history_bits must be in [1, 64], got {history_bits}"
+            )
+        self.size_kb = size_kb
+        self.history_bits = history_bits
+        weights_per_row = history_bits + 1  # plus the bias weight
+        row_bits = weights_per_row * WEIGHT_BITS
+        rows = max(1, size_kb * 1024 * 8 // row_bits)
+        self.rows = rows
+        self.weight_max = (1 << (WEIGHT_BITS - 1)) - 1
+        self.theta = int(1.93 * history_bits + 14)
+        self.table: List[List[int]] = [
+            [0] * weights_per_row for _ in range(rows)
+        ]
+        self.history = 0
+        self._history_mask = bit_mask(history_bits)
+
+    def _row(self, pc: int) -> int:
+        return (pc >> 2) % self.rows
+
+    def _output(self, pc: int, history: int) -> int:
+        weights = self.table[self._row(pc)]
+        total = weights[0]  # bias
+        for bit in range(self.history_bits):
+            x = 1 if (history >> bit) & 1 else -1
+            total += weights[bit + 1] * x
+        return total
+
+    def predict(self, pc: int) -> Prediction:
+        snapshot = self.history
+        output = self._output(pc, snapshot)
+        taken = output >= 0
+        self.history = ((snapshot << 1) | int(taken)) & self._history_mask
+        # The snapshot carries (history, output) so confidence estimators
+        # can read the output magnitude without recomputing the dot product.
+        return Prediction(taken, (snapshot, output))
+
+    def restore(self, snapshot: Any, actual_taken: bool) -> None:
+        history, _ = snapshot
+        self.history = ((history << 1) | int(actual_taken)) & self._history_mask
+
+    def train(self, pc: int, taken: bool, snapshot: Any) -> None:
+        history, output = snapshot
+        predicted = output >= 0
+        if predicted == taken and abs(output) > self.theta:
+            return
+        weights = self.table[self._row(pc)]
+        t = 1 if taken else -1
+        clip_hi = self.weight_max
+        clip_lo = -self.weight_max - 1
+        bias = weights[0] + t
+        weights[0] = min(clip_hi, max(clip_lo, bias))
+        for bit in range(self.history_bits):
+            x = 1 if (history >> bit) & 1 else -1
+            weight = weights[bit + 1] + t * x
+            weights[bit + 1] = min(clip_hi, max(clip_lo, weight))
+
+    def output_magnitude(self, snapshot: Tuple[int, int]) -> int:
+        """The |output| of a prediction — a built-in confidence signal."""
+        return abs(snapshot[1])
+
+    def counter_strength(self, pc: int, snapshot: Any) -> int:
+        """Map the output magnitude onto the 2-bit counter scale.
+
+        Below theta/4 counts as weak (1 or 2 depending on direction), so
+        the BPRU fallback treats near-zero perceptron outputs as low
+        confidence — the analogue of a weak saturating counter.
+        """
+        _, output = snapshot
+        weak = abs(output) < max(1, self.theta // 4)
+        if output >= 0:
+            return 2 if weak else 3
+        return 1 if weak else 0
+
+    def storage_bits(self) -> int:
+        return self.rows * (self.history_bits + 1) * WEIGHT_BITS

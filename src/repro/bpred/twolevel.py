@@ -1,0 +1,69 @@
+"""Local two-level predictor (Yeh & Patt PAg style).
+
+A table of per-branch local histories feeds a shared pattern table of 2-bit
+counters.  Local history is updated speculatively at predict and repaired
+from the snapshot on a misprediction, mirroring the gshare discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bpred.base import BranchPredictor, Prediction
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bit_mask, log2_exact
+
+COUNTER_BITS = 2
+_COUNTER_MAX = (1 << COUNTER_BITS) - 1
+_TAKEN_THRESHOLD = 1 << (COUNTER_BITS - 1)
+
+
+class LocalTwoLevelPredictor(BranchPredictor):
+    """PAg: per-PC history registers over a global pattern table."""
+
+    name = "local2level"
+
+    def __init__(self, history_entries: int = 1024, history_bits: int = 10) -> None:
+        if history_entries <= 0 or history_bits <= 0:
+            raise ConfigurationError("history table and width must be positive")
+        self.history_entries = history_entries
+        self.history_bits = history_bits
+        self._bht_bits = log2_exact(history_entries)
+        self._bht_mask = bit_mask(self._bht_bits)
+        self._hist_mask = bit_mask(history_bits)
+        self.bht = [0] * history_entries
+        self.pht = [_TAKEN_THRESHOLD] * (1 << history_bits)
+
+    def _bht_index(self, pc: int) -> int:
+        return (pc >> 2) & self._bht_mask
+
+    def predict(self, pc: int) -> Prediction:
+        bht_index = self._bht_index(pc)
+        local = self.bht[bht_index]
+        counter = self.pht[local]
+        taken = counter >= _TAKEN_THRESHOLD
+        self.bht[bht_index] = ((local << 1) | int(taken)) & self._hist_mask
+        return Prediction(taken, (bht_index, local))
+
+    def restore(self, snapshot: Tuple[int, int], actual_taken: bool) -> None:
+        bht_index, local = snapshot
+        self.bht[bht_index] = ((local << 1) | int(actual_taken)) & self._hist_mask
+
+    def train(self, pc: int, taken: bool, snapshot: Tuple[int, int]) -> None:
+        _, local = snapshot
+        counter = self.pht[local]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self.pht[local] = counter + 1
+        elif counter > 0:
+            self.pht[local] = counter - 1
+
+    def counter_strength(self, pc: int, snapshot: Tuple[int, int]) -> int:
+        _, local = snapshot
+        return self.pht[local]
+
+    def storage_bits(self) -> int:
+        return (
+            self.history_entries * self.history_bits
+            + len(self.pht) * COUNTER_BITS
+        )

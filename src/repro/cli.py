@@ -1,0 +1,218 @@
+"""Command-line interface: regenerate any table or figure from a shell.
+
+Examples::
+
+    python -m repro list                   # what can be regenerated
+    python -m repro table1                 # power breakdown (Table 1)
+    python -m repro figure3                # fetch throttling (Figure 3)
+    python -m repro figure3 --bars energy  # per-benchmark text bars
+    python -m repro figure5 --csv out.csv  # machine-readable export
+    python -m repro run go C2              # one benchmark x one policy
+    python -m repro ablations              # the DESIGN.md §6 studies
+
+Run lengths default to the library's simulation defaults; use
+``--instructions``/``--warmup`` for quicker (or higher-fidelity) passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures as fig_mod
+from repro.experiments import tables as tab_mod
+from repro.experiments.ablations import (
+    clock_gating_styles,
+    escalation_rule,
+    estimator_swap,
+    gating_threshold_sweep,
+    mshr_sensitivity,
+)
+from repro.experiments.runner import ExperimentRunner, run_benchmark
+from repro.report.ascii import figure_bars, sweep_lines
+from repro.report.export import figure_to_csv, figure_to_json
+from repro.workloads.suite import BENCHMARK_NAMES
+
+_BAR_METRICS = {
+    "speedup": "speedup",
+    "power": "power_savings_pct",
+    "energy": "energy_savings_pct",
+    "ed": "ed_improvement_pct",
+}
+
+_FIGURES = {
+    "figure1": fig_mod.figure1,
+    "figure3": fig_mod.figure3,
+    "figure4": fig_mod.figure4,
+    "figure5": fig_mod.figure5,
+}
+
+_COMMANDS = (
+    "list", "table1", "table2", "table3",
+    "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "run", "ablations",
+)
+
+
+def _make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the Selective "
+        "Throttling paper (HPCA 2003).",
+    )
+    parser.add_argument("command", choices=_COMMANDS, help="what to regenerate")
+    parser.add_argument(
+        "args", nargs="*",
+        help="command arguments (run: BENCHMARK EXPERIMENT [estimator])",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=None,
+        help="measured instructions per simulation",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="warm-up instructions per simulation",
+    )
+    parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark subset (default: all eight)",
+    )
+    parser.add_argument(
+        "--bars", choices=sorted(_BAR_METRICS), default=None,
+        help="render per-benchmark text bars for one metric",
+    )
+    parser.add_argument("--csv", default=None, help="write figure records to CSV")
+    parser.add_argument("--json", default=None, help="write figure payload to JSON")
+    return parser
+
+
+def _benchmark_list(argument: Optional[str]) -> Optional[List[str]]:
+    if argument is None:
+        return None
+    names = [name.strip() for name in argument.split(",") if name.strip()]
+    unknown = sorted(set(names) - set(BENCHMARK_NAMES))
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    return names
+
+
+def _emit_figure(figure, options) -> None:
+    print(fig_mod.format_figure(figure))
+    if options.bars:
+        print()
+        print(figure_bars(figure, _BAR_METRICS[options.bars]))
+    if options.csv:
+        with open(options.csv, "w") as handle:
+            handle.write(figure_to_csv(figure))
+        print(f"wrote {options.csv}")
+    if options.json:
+        with open(options.json, "w") as handle:
+            handle.write(figure_to_json(figure))
+        print(f"wrote {options.json}")
+
+
+def _cmd_list() -> None:
+    print("commands:")
+    print("  table1 table2 table3        — the paper's tables")
+    print("  figure1 figure3..figure7    — the paper's figures")
+    print("  run BENCH EXP [ESTIMATOR]   — one simulation vs its baseline")
+    print("  ablations                   — estimator swap, escalation rule,")
+    print("                                gating threshold, cc styles, MSHRs")
+    print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
+    print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
+
+
+def _cmd_run(options, runner: ExperimentRunner) -> None:
+    if len(options.args) < 2:
+        raise SystemExit("usage: repro run BENCHMARK EXPERIMENT [estimator]")
+    benchmark, experiment = options.args[0], options.args[1]
+    spec: tuple = ("throttle", experiment)
+    if len(options.args) > 2:
+        spec = ("throttle", experiment, options.args[2])
+    baseline = runner.baseline(benchmark)
+    candidate = runner.run(benchmark, spec)
+    from repro.experiments.results import compare
+
+    comparison = compare(baseline, candidate)
+    print(f"{benchmark} under {candidate.label} (vs baseline):")
+    print(f"  baseline IPC        {baseline.ipc:8.3f}")
+    print(f"  candidate IPC       {candidate.ipc:8.3f}")
+    print(f"  speedup             {comparison.speedup:8.3f}")
+    print(f"  power savings       {comparison.power_savings_pct:7.2f}%")
+    print(f"  energy savings      {comparison.energy_savings_pct:7.2f}%")
+    print(f"  E-D improvement     {comparison.ed_improvement_pct:7.2f}%")
+
+
+def _cmd_ablations(options, runner: ExperimentRunner, benchmarks) -> None:
+    print(fig_mod.format_figure(estimator_swap(runner, benchmarks=benchmarks)))
+    print()
+    print(fig_mod.format_figure(escalation_rule(runner, benchmarks=benchmarks)))
+    print()
+    print(fig_mod.format_figure(gating_threshold_sweep(runner, benchmarks=benchmarks)))
+    print()
+    print("clock-gating styles: suite averages")
+    for style, row in clock_gating_styles(
+        runner.instructions, runner.warmup, benchmarks=benchmarks
+    ).items():
+        print(
+            f"  {style}: {row['average_power_watts']:6.1f} W, "
+            f"wasted {row['wasted_fraction'] * 100:5.1f}%"
+        )
+    print()
+    print("MSHR sensitivity:")
+    for count, row in mshr_sensitivity(
+        (2, 8, 16), runner.instructions, runner.warmup, benchmarks=benchmarks
+    ).items():
+        print(
+            f"  mshr={count:2d}: baseline IPC {row['baseline_ipc']:.2f}, "
+            f"oracle-fetch speedup {row['oracle_fetch_speedup']:.3f}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = _make_parser().parse_args(argv)
+    command = options.command
+    if command == "list":
+        _cmd_list()
+        return 0
+
+    benchmarks = _benchmark_list(options.benchmarks)
+    runner = ExperimentRunner(
+        instructions=options.instructions, warmup=options.warmup
+    )
+
+    if command == "table1":
+        print(tab_mod.format_table1(tab_mod.table1(runner)))
+    elif command == "table2":
+        print(tab_mod.format_table2(tab_mod.table2()))
+    elif command == "table3":
+        print(tab_mod.format_table3())
+    elif command in _FIGURES:
+        figure = _FIGURES[command](runner, benchmarks=benchmarks)
+        _emit_figure(figure, options)
+    elif command == "figure6":
+        sweep = fig_mod.figure6(
+            instructions=options.instructions, benchmarks=benchmarks
+        )
+        print(fig_mod.format_sweep("figure6 (C2)", sweep, "depth"))
+        if options.bars:
+            print()
+            print(sweep_lines(sweep, (_BAR_METRICS[options.bars],), x_label="depth"))
+    elif command == "figure7":
+        sweep = fig_mod.figure7(
+            instructions=options.instructions, benchmarks=benchmarks
+        )
+        print(fig_mod.format_sweep("figure7 (C2)", sweep, "total KB"))
+        if options.bars:
+            print()
+            print(sweep_lines(sweep, (_BAR_METRICS[options.bars],), x_label="KB"))
+    elif command == "run":
+        _cmd_run(options, runner)
+    elif command == "ablations":
+        _cmd_ablations(options, runner, benchmarks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Self-confidence estimators: confidence from the predictor's own state.
+
+Two estimators that need no separate confidence table:
+
+* :class:`PerceptronConfidenceEstimator` — the perceptron's output
+  magnitude is a direct confidence signal (|output| >> theta means the
+  weights agree strongly).  Thresholds at fractions of theta map the
+  magnitude onto the paper's four levels.
+* :class:`CounterConfidenceEstimator` — the underlying predictor's
+  saturating counter alone: weak counters are LC, strong ones HC.  This is
+  the degenerate estimator the paper's §4.3 fallback uses on a BPRU table
+  miss, promoted to a standalone baseline for ablations.
+
+Both are *free* in hardware terms — the comparison against BPRU/JRS shows
+what dedicated confidence storage buys.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bpred.base import BranchPredictor, Prediction
+from repro.bpred.perceptron import PerceptronPredictor
+from repro.confidence.base import ConfidenceEstimator, ConfidenceLevel
+from repro.errors import ConfigurationError
+
+
+class PerceptronConfidenceEstimator(ConfidenceEstimator):
+    """Four-level confidence from perceptron output magnitude.
+
+    ``|output| >= theta`` is VHC, ``>= theta/2`` HC, ``>= theta/4`` LC and
+    anything closer to the decision boundary VLC.  The thresholds are the
+    natural break points of the perceptron training rule (weights stop
+    training above theta).
+    """
+
+    name = "perceptron-self"
+
+    def estimate(
+        self,
+        pc: int,
+        prediction: Prediction,
+        predictor: BranchPredictor,
+        update_state: bool = True,
+    ) -> ConfidenceLevel:
+        if not isinstance(predictor, PerceptronPredictor):
+            raise ConfigurationError(
+                "perceptron-self confidence requires a perceptron predictor"
+            )
+        magnitude = predictor.output_magnitude(prediction.snapshot)
+        theta = predictor.theta
+        if magnitude >= theta:
+            return ConfidenceLevel.VHC
+        if magnitude >= theta // 2:
+            return ConfidenceLevel.HC
+        if magnitude >= theta // 4:
+            return ConfidenceLevel.LC
+        return ConfidenceLevel.VLC
+
+    def train(self, pc: int, correct: bool, snapshot: Any, taken: bool = None) -> None:
+        return None  # stateless: the predictor's training is the training
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class CounterConfidenceEstimator(ConfidenceEstimator):
+    """Two-level confidence straight from the predictor's counter.
+
+    Weakly taken / weakly not-taken counters are LC; strong counters HC.
+    """
+
+    name = "counter-self"
+
+    def estimate(
+        self,
+        pc: int,
+        prediction: Prediction,
+        predictor: BranchPredictor,
+        update_state: bool = True,
+    ) -> ConfidenceLevel:
+        strength = predictor.counter_strength(pc, prediction.snapshot)
+        if strength in (1, 2):
+            return ConfidenceLevel.LC
+        return ConfidenceLevel.HC
+
+    def train(self, pc: int, correct: bool, snapshot: Any, taken: bool = None) -> None:
+        return None
+
+    def storage_bits(self) -> int:
+        return 0

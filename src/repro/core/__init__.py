@@ -1,0 +1,42 @@
+"""Selective Throttling: the paper's primary contribution.
+
+* :mod:`repro.core.levels` — throttle bandwidth levels (full / half /
+  quarter / stall).
+* :mod:`repro.core.policy` — per-confidence-level throttle policies and the
+  named experiment configurations A1–A7, B1–B9, C1–C7 of Figures 3-5.
+* :mod:`repro.core.throttler` — the runtime: triggers heuristics on LC/VLC
+  branches, enforces the escalate-only rule, releases on resolution.
+* :mod:`repro.core.gating` — the Pipeline Gating baseline (Manne et al.).
+* :mod:`repro.core.oracle` — oracle fetch/decode/select controllers (Fig. 1).
+"""
+
+from repro.core.gating import PipelineGatingController
+from repro.core.levels import BandwidthLevel
+from repro.core.oracle import OracleController, OracleMode
+from repro.core.policy import (
+    FIGURE3_EXPERIMENTS,
+    FIGURE4_EXPERIMENTS,
+    FIGURE5_EXPERIMENTS,
+    ThrottleAction,
+    ThrottlePolicy,
+    experiment_policy,
+    list_experiments,
+)
+from repro.core.throttler import NullController, SelectiveThrottler, SpeculationController
+
+__all__ = [
+    "BandwidthLevel",
+    "ThrottleAction",
+    "ThrottlePolicy",
+    "experiment_policy",
+    "list_experiments",
+    "FIGURE3_EXPERIMENTS",
+    "FIGURE4_EXPERIMENTS",
+    "FIGURE5_EXPERIMENTS",
+    "SpeculationController",
+    "NullController",
+    "SelectiveThrottler",
+    "PipelineGatingController",
+    "OracleController",
+    "OracleMode",
+]

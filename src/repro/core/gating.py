@@ -1,0 +1,64 @@
+"""Pipeline Gating (Manne, Klauser & Grunwald, ISCA 1998).
+
+The comparison baseline of the paper: count unresolved low-confidence
+branches; while the count reaches the gating threshold, stall fetch
+completely.  The paper evaluates it with an 8 KB JRS estimator at MDC
+threshold 12 and a gating threshold of 2 (experiments A7/B9/C7).
+"""
+
+from __future__ import annotations
+
+from repro.confidence.base import ConfidenceLevel
+from repro.core.throttler import SpeculationController
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction
+
+
+class PipelineGatingController(SpeculationController):
+    """All-or-nothing fetch gating on outstanding low-confidence branches."""
+
+    name = "pipeline-gating"
+
+    def __init__(self, gating_threshold: int = 2) -> None:
+        if gating_threshold < 1:
+            raise ConfigurationError(
+                f"gating threshold must be >= 1, got {gating_threshold}"
+            )
+        self.gating_threshold = gating_threshold
+        self._outstanding = 0
+        self.gated_cycles = 0
+        self.triggers = 0
+
+    def on_branch_fetched(
+        self, instruction: DynamicInstruction, level: ConfidenceLevel
+    ) -> None:
+        if level.is_low:
+            self._outstanding += 1
+            self.triggers += 1
+            instruction.throttle_token = "gate"
+
+    def on_branch_resolved(self, instruction: DynamicInstruction) -> None:
+        self._drop(instruction)
+
+    def on_branch_squashed(self, instruction: DynamicInstruction) -> None:
+        self._drop(instruction)
+
+    def _drop(self, instruction: DynamicInstruction) -> None:
+        if instruction.throttle_token == "gate":
+            self._outstanding -= 1
+            instruction.throttle_token = None
+
+    def fetch_allowed(self, cycle: int) -> bool:
+        # Manne et al.: gate while the count *exceeds* the threshold.
+        gated = self._outstanding > self.gating_threshold
+        if gated:
+            self.gated_cycles += 1
+        return not gated
+
+    @property
+    def outstanding_low_confidence(self) -> int:
+        """Number of in-flight branches currently counted against the gate."""
+        return self._outstanding
+
+    def reset(self) -> None:
+        self._outstanding = 0

@@ -1,0 +1,50 @@
+"""Bandwidth throttle levels (paper §4.1).
+
+Fetch/decode bandwidth reduction is implemented by "alternating full
+activity cycles with stalled cycles": half bandwidth = one active cycle in
+two, quarter = one in four, stall = none.  :meth:`BandwidthLevel.active`
+answers whether a stage may work on a given cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+@enum.unique
+class BandwidthLevel(enum.IntEnum):
+    """Stage bandwidth, ordered by increasing aggressiveness."""
+
+    FULL = 0  # every cycle
+    HALF = 1  # 1 active cycle in 2
+    QUARTER = 2  # 1 active cycle in 4
+    STALL = 3  # no active cycles
+
+    @property
+    def period(self) -> int:
+        """Cycles per active window (0 means never active)."""
+        if self is BandwidthLevel.FULL:
+            return 1
+        if self is BandwidthLevel.HALF:
+            return 2
+        if self is BandwidthLevel.QUARTER:
+            return 4
+        return 0
+
+    def active(self, cycle: int) -> bool:
+        """True if the throttled stage may operate on ``cycle``."""
+        period = self.period
+        if period == 0:
+            return False
+        if period == 1:
+            return True
+        return cycle % period == 0
+
+    @staticmethod
+    def most_restrictive(a: "BandwidthLevel", b: "BandwidthLevel") -> "BandwidthLevel":
+        """The more aggressive of two levels (used by the escalate rule)."""
+        return a if a >= b else b
+
+    def describe(self) -> str:
+        """Compact label used by experiment names (fetch/2, fetch=0...)."""
+        return {"FULL": "/1", "HALF": "/2", "QUARTER": "/4", "STALL": "=0"}[self.name]

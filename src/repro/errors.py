@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the simulator derive from :class:`ReproError` so callers
+can catch everything coming out of this library with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A processor, predictor or workload configuration is invalid."""
+
+
+class ProgramError(ReproError):
+    """A synthetic program is malformed (bad CFG edge, empty block, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (invariant violation)."""
+
+
+class WorkloadError(ReproError):
+    """A workload name is unknown or a workload spec is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment cannot be assembled."""

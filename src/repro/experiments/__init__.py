@@ -1,0 +1,36 @@
+"""Experiment drivers: everything needed to regenerate the paper's tables
+and figures (see DESIGN.md for the experiment index)."""
+
+from repro.experiments.campaign import CampaignResult, run_campaign, summarize
+from repro.experiments.policy_search import (
+    PolicyPoint,
+    enumerate_policies,
+    pareto_frontier,
+    search_policies,
+)
+from repro.experiments.results import ComparisonResult, SimulationResult, compare
+from repro.experiments.runner import (
+    ControllerSpec,
+    ExperimentRunner,
+    default_instructions,
+    default_warmup,
+    make_controller,
+)
+
+__all__ = [
+    "SimulationResult",
+    "ComparisonResult",
+    "compare",
+    "ControllerSpec",
+    "make_controller",
+    "ExperimentRunner",
+    "default_instructions",
+    "default_warmup",
+    "CampaignResult",
+    "run_campaign",
+    "summarize",
+    "PolicyPoint",
+    "enumerate_policies",
+    "search_policies",
+    "pareto_frontier",
+]

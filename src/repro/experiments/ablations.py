@@ -1,0 +1,148 @@
+"""Ablation studies beyond the paper's own experiments (DESIGN.md §6).
+
+Each function isolates one design choice of Selective Throttling:
+
+* :func:`estimator_swap` — C2 driven by BPRU (the paper's choice) versus
+  JRS versus a perfect oracle estimator.  Measures how much of C2's win
+  comes from the four-level BPRU categorisation.
+* :func:`escalation_rule` — the paper's escalate-only rule (§4.2: an armed
+  heuristic may be replaced by a more restrictive one, never a less
+  restrictive one) on versus off.
+* :func:`gating_threshold_sweep` — Pipeline Gating at thresholds 1-4 (the
+  paper fixes N=2 following Manne et al.).
+* :func:`clock_gating_styles` — the baseline's power breakdown under
+  Wattch's cc0-cc3 conditional-clocking styles (the paper uses cc3).
+
+All return plain dictionaries of suite-average metrics, printable with
+:func:`repro.experiments.figures.format_figure` conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.figures import FigureResult, _run_figure
+from repro.experiments.runner import ExperimentRunner, run_benchmark
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor
+from repro.power.model import ClockGatingStyle, PowerModel
+from repro.utils.stats import arithmetic_mean
+from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+
+
+def estimator_swap(
+    runner: Optional[ExperimentRunner] = None,
+    policy: str = "C2",
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Selective Throttling under different confidence estimators.
+
+    The JRS variant only ever produces HC/LC labels (it is a binary
+    estimator), so the policy's VLC action never fires — exactly the
+    degradation the paper's four-level categorisation was designed to
+    avoid.  The perfect variant bounds what any estimator could achieve.
+    """
+    experiments = {
+        f"{policy}/bpru": ("throttle", policy),
+        f"{policy}/jrs": ("throttle", policy, "jrs"),
+        f"{policy}/perfect": ("throttle", policy, "perfect"),
+    }
+    return _run_figure("estimator-swap", experiments, runner, benchmarks)
+
+
+def escalation_rule(
+    runner: Optional[ExperimentRunner] = None,
+    policy: str = "C2",
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """The paper's escalate-only rule on vs off for one policy."""
+    experiments = {
+        f"{policy}/escalate": ("throttle", policy),
+        f"{policy}/latest-wins": ("throttle-noescalate", policy),
+    }
+    return _run_figure("escalation-rule", experiments, runner, benchmarks)
+
+
+def gating_threshold_sweep(
+    runner: Optional[ExperimentRunner] = None,
+    thresholds: Sequence[int] = (1, 2, 3, 4),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Pipeline Gating at a range of gating thresholds."""
+    experiments = {f"gating-th{n}": ("gating", n) for n in thresholds}
+    return _run_figure("gating-threshold", experiments, runner, benchmarks)
+
+
+def clock_gating_styles(
+    instructions: int = 12_000,
+    warmup: int = 4_000,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Baseline power under each Wattch conditional-clocking style.
+
+    Returns ``style -> {average_power_watts, wasted_fraction}`` averaged
+    over the suite.  cc0 burns maximum power everywhere; cc1/cc2 gate
+    progressively harder; cc3 (the paper's style) is cc2 plus a 10% idle
+    floor.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    names = list(benchmarks or BENCHMARK_NAMES)
+    for style in ClockGatingStyle:
+        powers = []
+        wasted = []
+        for name in names:
+            spec = benchmark_spec(name)
+            processor = Processor(
+                table3_config(),
+                spec.build_program(),
+                clock_gating=style,
+                seed=spec.seed,
+            )
+            processor.run(instructions, warmup_instructions=warmup)
+            model = processor.power
+            powers.append(model.average_power())
+            total = model.total_energy()
+            wasted.append(model.total_wasted_energy() / total if total else 0.0)
+        results[style.value] = {
+            "average_power_watts": arithmetic_mean(powers),
+            "wasted_fraction": arithmetic_mean(wasted),
+        }
+    return results
+
+
+def mshr_sensitivity(
+    counts: Sequence[int] = (2, 4, 8, 16),
+    instructions: int = 12_000,
+    warmup: int = 4_000,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Baseline IPC and oracle-fetch speedup versus MSHR count.
+
+    Fewer MSHRs make wrong-path misses costlier to the true path (fills
+    are never cancelled), widening the oracle-fetch gap — the
+    resource-waste channel of the paper's §3.
+    """
+    from dataclasses import replace
+
+    results: Dict[int, Dict[str, float]] = {}
+    names = list(benchmarks or BENCHMARK_NAMES)
+    for count in counts:
+        config = replace(table3_config(), mshr_count=count)
+        ipcs = []
+        speedups = []
+        for name in names:
+            base = run_benchmark(
+                name, ("baseline",), config=config,
+                instructions=instructions, warmup=warmup,
+            )
+            oracle = run_benchmark(
+                name, ("oracle", "fetch"), config=config,
+                instructions=instructions, warmup=warmup,
+            )
+            ipcs.append(base.ipc)
+            speedups.append(base.cycles / oracle.cycles)
+        results[count] = {
+            "baseline_ipc": arithmetic_mean(ipcs),
+            "oracle_fetch_speedup": arithmetic_mean(speedups),
+        }
+    return results

@@ -1,0 +1,248 @@
+"""Multi-seed experiment campaigns with uncertainty quantification.
+
+The paper reports single-run numbers (deterministic simulator, one binary
+per benchmark).  Our benchmarks are *sampled* synthetic programs, so any
+result carries generator-seed variance; a campaign reruns each
+(benchmark, mechanism) cell across several program seeds and reports the
+mean with a Student-t confidence interval — the difference between "C2
+saves 11.5% energy" and "C2 saves 11.5% ± 1.2% energy".
+
+Campaign results serialise to JSON so long sweeps survive interpreter
+restarts and can be diffed across code versions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.results import compare
+from repro.experiments.runner import ControllerSpec, run_benchmark
+from repro.pipeline.config import ProcessorConfig, table3_config
+from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+
+# Two-sided 95% Student-t critical values by degrees of freedom; the tail
+# of the table falls back to the normal value.
+_T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+_Z_95 = 1.960
+
+METRICS = ("speedup", "power_savings_pct", "energy_savings_pct",
+           "ed_improvement_pct")
+
+
+def _t_critical(dof: int) -> float:
+    return _T_95.get(dof, _Z_95)
+
+
+@dataclass
+class MetricSummary:
+    """Mean, spread and a 95% confidence interval of one metric."""
+
+    mean: float
+    stddev: float
+    half_width: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def describe(self) -> str:
+        return f"{self.mean:.2f} ± {self.half_width:.2f} (n={self.samples})"
+
+
+def summarize(values: Sequence[float]) -> MetricSummary:
+    """Mean and 95% t-interval of a sample (exact for n = 1: zero width)."""
+    if not values:
+        raise ExperimentError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MetricSummary(mean=mean, stddev=0.0, half_width=0.0, samples=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(variance)
+    half = _t_critical(n - 1) * stddev / math.sqrt(n)
+    return MetricSummary(mean=mean, stddev=stddev, half_width=half, samples=n)
+
+
+@dataclass
+class CampaignResult:
+    """All samples of one campaign, keyed by (experiment label, benchmark)."""
+
+    name: str
+    seeds: List[int]
+    instructions: int
+    # label -> benchmark -> metric -> [per-seed values]
+    samples: Dict[str, Dict[str, Dict[str, List[float]]]] = field(
+        default_factory=dict
+    )
+
+    def summary(self, label: str, benchmark: str, metric: str) -> MetricSummary:
+        """Summarise one metric of one cell across seeds."""
+        return summarize(self.samples[label][benchmark][metric])
+
+    def suite_summary(self, label: str, metric: str) -> MetricSummary:
+        """Summarise per-seed *suite averages* of one metric.
+
+        Averaging within each seed first keeps the samples independent
+        (each seed contributes exactly one number).
+        """
+        per_benchmark = self.samples[label]
+        benchmarks = list(per_benchmark)
+        count = len(self.seeds)
+        per_seed = []
+        for index in range(count):
+            values = [per_benchmark[b][metric][index] for b in benchmarks]
+            per_seed.append(sum(values) / len(values))
+        return summarize(per_seed)
+
+    def labels(self) -> List[str]:
+        return list(self.samples)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "seeds": self.seeds,
+                "instructions": self.instructions,
+                "samples": self.samples,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            seeds=list(payload["seeds"]),
+            instructions=int(payload["instructions"]),
+            samples=payload["samples"],
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def run_campaign(
+    experiments: Dict[str, ControllerSpec],
+    benchmarks: Optional[Sequence[str]] = None,
+    seeds: int = 3,
+    instructions: int = 8_000,
+    warmup: Optional[int] = None,
+    config: Optional[ProcessorConfig] = None,
+    name: str = "campaign",
+) -> CampaignResult:
+    """Run every (experiment, benchmark) cell across program-seed variants.
+
+    Seed variant ``i`` regenerates each benchmark's program from
+    ``spec.seed + 1000 * i`` — same calibrated shape, different sampled
+    code — so the spread measures workload-sampling variance, not
+    simulator noise (the simulator itself is deterministic).
+    """
+    if seeds < 1:
+        raise ExperimentError("need at least one seed")
+    names = list(benchmarks or BENCHMARK_NAMES)
+    config = config or table3_config()
+    warmup = instructions // 3 if warmup is None else warmup
+    seed_list: List[int] = []
+    result = CampaignResult(
+        name=name, seeds=seed_list, instructions=instructions
+    )
+    for label in experiments:
+        result.samples[label] = {
+            benchmark: {metric: [] for metric in METRICS} for benchmark in names
+        }
+
+    for variant in range(seeds):
+        seed_list.append(variant)
+        for benchmark in names:
+            base_seed = benchmark_spec(benchmark).seed + 1000 * variant
+            baseline = _run_with_seed(
+                benchmark, ("baseline",), config, instructions, warmup, base_seed
+            )
+            for label, spec in experiments.items():
+                candidate = _run_with_seed(
+                    benchmark, spec, config, instructions, warmup, base_seed
+                )
+                comparison = compare(baseline, candidate)
+                cell = result.samples[label][benchmark]
+                for metric in METRICS:
+                    cell[metric].append(getattr(comparison, metric))
+    return result
+
+
+def _run_with_seed(benchmark, spec, config, instructions, warmup, seed):
+    """run_benchmark with an overridden program seed."""
+    from repro.experiments import runner as runner_mod
+
+    workload = benchmark_spec(benchmark)
+    patched = replace(workload, seed=seed)
+    # Reuse run_benchmark's controller/estimator plumbing with the
+    # reseeded workload by building the pieces it would build.
+    from repro.pipeline.processor import Processor
+
+    controller = runner_mod.make_controller(spec)
+    confidence_kind = runner_mod._confidence_kind_for(spec)
+    if confidence_kind is not None and config.confidence_kind != confidence_kind:
+        config = replace(config, confidence_kind=confidence_kind)
+    program = patched.build_program()
+    processor = Processor(config, program, controller=controller, seed=seed)
+    stats = processor.run(instructions, warmup_instructions=warmup)
+    power = processor.power
+    total_energy = power.total_energy()
+    from repro.experiments.results import SimulationResult
+
+    return SimulationResult(
+        benchmark=benchmark,
+        label=runner_mod._label_of(spec),
+        instructions=stats.committed,
+        cycles=stats.cycles,
+        ipc=stats.ipc,
+        average_power_watts=power.average_power(),
+        energy_joules=total_energy,
+        execution_seconds=power.execution_seconds(),
+        miss_rate=stats.branch_miss_rate,
+        spec_metric=stats.confidence.spec(),
+        pvn_metric=stats.confidence.pvn(),
+        wrong_path_fetch_fraction=stats.wrong_path_fetch_fraction,
+        wasted_energy_fraction=(
+            power.total_wasted_energy() / total_energy if total_energy else 0.0
+        ),
+        breakdown=power.breakdown(),
+    )
+
+
+def format_campaign(
+    result: CampaignResult, metrics: Tuple[str, ...] = METRICS
+) -> str:
+    """Aligned text table of suite-level summaries with 95% intervals."""
+    lines = [
+        f"{result.name}: {len(result.seeds)} seeds x "
+        f"{result.instructions} instructions",
+        f"{'experiment':16s}" + "".join(f"{metric:>26s}" for metric in metrics),
+    ]
+    for label in result.labels():
+        cells = [
+            result.suite_summary(label, metric).describe() for metric in metrics
+        ]
+        lines.append(f"{label:16s}" + "".join(f"{cell:>26s}" for cell in cells))
+    return "\n".join(lines)

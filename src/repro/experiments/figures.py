@@ -1,0 +1,181 @@
+"""Regeneration of the paper's figures (1, 3, 4, 5, 6, 7).
+
+Every function returns a :class:`FigureResult`: per-benchmark
+:class:`~repro.experiments.results.ComparisonResult` rows for every curve
+of the figure, plus suite averages — the numbers the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.results import ComparisonResult, compare
+from repro.experiments.runner import ControllerSpec, ExperimentRunner
+from repro.pipeline.config import table3_config
+from repro.utils.stats import arithmetic_mean, geometric_mean
+from repro.workloads.suite import BENCHMARK_NAMES
+
+# Paper averages for quick shape checks (EXPERIMENTS.md records the full set).
+PAPER_FIGURE1 = {
+    "oracle-fetch": {"speedup": 1.05, "power": 21.0, "energy": 24.0, "ed": 28.0},
+}
+
+
+@dataclass
+class FigureResult:
+    """All measurements of one figure."""
+
+    name: str
+    # experiment label -> benchmark -> comparison
+    rows: Dict[str, Dict[str, ComparisonResult]] = field(default_factory=dict)
+
+    def average(self, label: str) -> Dict[str, float]:
+        """Suite averages of the four paper metrics for one experiment."""
+        comparisons = list(self.rows[label].values())
+        return {
+            "speedup": geometric_mean(max(1e-9, c.speedup) for c in comparisons),
+            "power_savings_pct": arithmetic_mean(
+                c.power_savings_pct for c in comparisons
+            ),
+            "energy_savings_pct": arithmetic_mean(
+                c.energy_savings_pct for c in comparisons
+            ),
+            "ed_improvement_pct": arithmetic_mean(
+                c.ed_improvement_pct for c in comparisons
+            ),
+        }
+
+    def averages(self) -> Dict[str, Dict[str, float]]:
+        """Suite averages for every experiment of the figure."""
+        return {label: self.average(label) for label in self.rows}
+
+
+def _run_figure(
+    name: str,
+    experiments: Dict[str, ControllerSpec],
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    runner = runner or ExperimentRunner()
+    benchmarks = list(benchmarks or BENCHMARK_NAMES)
+    figure = FigureResult(name)
+    for label, spec in experiments.items():
+        row: Dict[str, ComparisonResult] = {}
+        for benchmark in benchmarks:
+            baseline = runner.baseline(benchmark)
+            candidate = runner.run(benchmark, spec, label=label)
+            row[benchmark] = compare(baseline, candidate)
+        figure.rows[label] = row
+    return figure
+
+
+def figure1(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
+    """Oracle fetch / decode / select limit studies (paper Figure 1)."""
+    experiments = {
+        "oracle-fetch": ("oracle", "fetch"),
+        "oracle-decode": ("oracle", "decode"),
+        "oracle-select": ("oracle", "select"),
+    }
+    return _run_figure("figure1", experiments, runner, **kwargs)
+
+
+def figure3(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
+    """Fetch throttling A1-A6 plus Pipeline Gating A7 (paper Figure 3)."""
+    experiments: Dict[str, ControllerSpec] = {
+        name: ("throttle", name) for name in ("A1", "A2", "A3", "A4", "A5", "A6")
+    }
+    experiments["A7"] = ("gating", 2)
+    return _run_figure("figure3", experiments, runner, **kwargs)
+
+
+def figure4(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
+    """Decode throttling B1-B8 plus Pipeline Gating B9 (paper Figure 4)."""
+    experiments: Dict[str, ControllerSpec] = {
+        name: ("throttle", name)
+        for name in ("B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8")
+    }
+    experiments["B9"] = ("gating", 2)
+    return _run_figure("figure4", experiments, runner, **kwargs)
+
+
+def figure5(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
+    """Selection throttling C1-C6 plus Pipeline Gating C7 (paper Figure 5)."""
+    experiments: Dict[str, ControllerSpec] = {
+        name: ("throttle", name)
+        for name in ("C1", "C2", "C3", "C4", "C5", "C6")
+    }
+    experiments["C7"] = ("gating", 2)
+    return _run_figure("figure5", experiments, runner, **kwargs)
+
+
+def figure6(
+    depths: Sequence[int] = (6, 10, 14, 20, 24, 28),
+    instructions: Optional[int] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Pipeline-depth sweep of the best experiment C2 (paper Figure 6).
+
+    Returns ``depth -> suite-average metrics of C2 vs the same-depth
+    baseline``.
+    """
+    results: Dict[int, Dict[str, float]] = {}
+    for depth in depths:
+        config = table3_config().with_depth(depth)
+        runner = ExperimentRunner(config=config, instructions=instructions)
+        figure = _run_figure(
+            f"figure6-depth{depth}", {"C2": ("throttle", "C2")}, runner, benchmarks
+        )
+        results[depth] = figure.average("C2")
+    return results
+
+
+def figure7(
+    total_sizes_kb: Sequence[int] = (8, 16, 32, 64),
+    instructions: Optional[int] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Predictor+estimator size sweep of C2 (paper Figure 7).
+
+    Each point splits the total budget half/half between the gshare and the
+    BPRU estimator, comparing against a baseline whose gshare gets the same
+    predictor half (the paper compares equal total sizes).
+    """
+    results: Dict[int, Dict[str, float]] = {}
+    for total_kb in total_sizes_kb:
+        config = table3_config().with_table_sizes(total_kb)
+        runner = ExperimentRunner(config=config, instructions=instructions)
+        figure = _run_figure(
+            f"figure7-size{total_kb}", {"C2": ("throttle", "C2")}, runner, benchmarks
+        )
+        results[total_kb] = figure.average("C2")
+    return results
+
+
+def format_figure(figure: FigureResult) -> str:
+    """Render a figure's suite averages as an aligned text table."""
+    lines = [
+        f"{figure.name}: suite averages",
+        f"{'experiment':14s} {'speedup':>8s} {'power%':>8s} {'energy%':>8s} {'E-D%':>8s}",
+    ]
+    for label in figure.rows:
+        avg = figure.average(label)
+        lines.append(
+            f"{label:14s} {avg['speedup']:8.3f} {avg['power_savings_pct']:8.2f} "
+            f"{avg['energy_savings_pct']:8.2f} {avg['ed_improvement_pct']:8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(name: str, sweep: Dict[int, Dict[str, float]], unit: str) -> str:
+    """Render figure6()/figure7() sweeps as an aligned text table."""
+    lines = [
+        f"{name}: suite averages per {unit}",
+        f"{unit:>10s} {'speedup':>8s} {'power%':>8s} {'energy%':>8s} {'E-D%':>8s}",
+    ]
+    for point, avg in sweep.items():
+        lines.append(
+            f"{point:10d} {avg['speedup']:8.3f} {avg['power_savings_pct']:8.2f} "
+            f"{avg['energy_savings_pct']:8.2f} {avg['ed_improvement_pct']:8.2f}"
+        )
+    return "\n".join(lines)

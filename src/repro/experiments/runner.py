@@ -1,0 +1,211 @@
+"""Running benchmarks under speculation-control configurations.
+
+A :class:`ControllerSpec` names one mechanism:
+
+* ``("baseline",)`` — no throttling;
+* ``("throttle", "C2")`` — Selective Throttling under a named experiment
+  policy (the runner selects the BPRU estimator, as the paper does);
+* ``("throttle", "C2", "jrs")`` — the same mechanism driven by a different
+  confidence estimator (the estimator-swap ablation);
+* ``("throttle-noescalate", "C2")`` — Selective Throttling with the paper's
+  escalate-only rule (§4.2) disabled (the escalation ablation);
+* ``("gating", 2)`` — Pipeline Gating at a gating threshold (the runner
+  selects the JRS estimator at MDC threshold 12, as the paper does);
+* ``("oracle", "fetch"|"decode"|"select")`` — the Figure 1 limit studies.
+
+The :class:`ExperimentRunner` memoises baseline runs per (benchmark,
+configuration, run length), since every figure compares many mechanisms
+against the same baseline.
+
+Run lengths default to :func:`default_instructions` /
+:func:`default_warmup`, overridable with the environment variables
+``REPRO_SIM_INSTRUCTIONS`` and ``REPRO_SIM_WARMUP`` — raise them for
+higher-fidelity (slower) reproductions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.gating import PipelineGatingController
+from repro.core.oracle import OracleController, OracleMode
+from repro.core.policy import experiment_policy
+from repro.core.throttler import NullController, SelectiveThrottler, SpeculationController
+from repro.errors import ExperimentError
+from repro.experiments.results import SimulationResult
+from repro.pipeline.config import ProcessorConfig, table3_config
+from repro.pipeline.processor import Processor
+from repro.workloads.suite import benchmark_spec
+
+ControllerSpec = Tuple
+
+
+def default_instructions() -> int:
+    """Measured instructions per run (env: REPRO_SIM_INSTRUCTIONS)."""
+    return int(os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000"))
+
+
+def default_warmup() -> int:
+    """Warm-up instructions per run (env: REPRO_SIM_WARMUP)."""
+    return int(os.environ.get("REPRO_SIM_WARMUP", "10000"))
+
+
+def make_controller(spec: ControllerSpec) -> SpeculationController:
+    """Instantiate the speculation controller named by ``spec``."""
+    if not spec or spec[0] == "baseline":
+        return NullController()
+    kind = spec[0]
+    if kind in ("throttle", "throttle-noescalate"):
+        policy = experiment_policy(spec[1])
+        if policy is None:
+            raise ExperimentError(
+                f"experiment {spec[1]!r} is Pipeline Gating; use ('gating', N)"
+            )
+        return SelectiveThrottler(policy, escalate_only=kind == "throttle")
+    if kind == "gating":
+        threshold = spec[1] if len(spec) > 1 else 2
+        return PipelineGatingController(threshold)
+    if kind == "oracle":
+        return OracleController(OracleMode(spec[1]))
+    raise ExperimentError(f"unknown controller spec {spec!r}")
+
+
+def _confidence_kind_for(spec: ControllerSpec) -> Optional[str]:
+    """The estimator each mechanism is evaluated with in the paper.
+
+    A third element on a throttle spec overrides the estimator —
+    ``("throttle", "C2", "jrs")`` runs Selective Throttling on JRS labels
+    (the estimator-swap ablation).
+    """
+    kind = spec[0] if spec else "baseline"
+    if kind in ("throttle", "throttle-noescalate"):
+        return spec[2] if len(spec) > 2 else "bpru"
+    if kind == "gating":
+        return "jrs"
+    if kind == "oracle":
+        return "perfect"
+    return None  # baseline: keep whatever the config says
+
+
+def run_benchmark(
+    benchmark: str,
+    controller_spec: ControllerSpec = ("baseline",),
+    config: Optional[ProcessorConfig] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    label: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate one benchmark under one mechanism and collect results."""
+    spec = benchmark_spec(benchmark)
+    config = config or table3_config()
+    confidence_kind = _confidence_kind_for(controller_spec)
+    if confidence_kind is not None and config.confidence_kind != confidence_kind:
+        config = replace(config, confidence_kind=confidence_kind)
+    instructions = instructions or default_instructions()
+    warmup = default_warmup() if warmup is None else warmup
+
+    program = spec.build_program()
+    controller = make_controller(controller_spec)
+    processor = Processor(config, program, controller=controller, seed=spec.seed)
+    stats = processor.run(instructions, warmup_instructions=warmup)
+    power = processor.power
+
+    total_energy = power.total_energy()
+    wasted_fraction = (
+        power.total_wasted_energy() / total_energy if total_energy else 0.0
+    )
+    return SimulationResult(
+        benchmark=benchmark,
+        label=label or _label_of(controller_spec),
+        instructions=stats.committed,
+        cycles=stats.cycles,
+        ipc=stats.ipc,
+        average_power_watts=power.average_power(),
+        energy_joules=total_energy,
+        execution_seconds=power.execution_seconds(),
+        miss_rate=stats.branch_miss_rate,
+        spec_metric=stats.confidence.spec(),
+        pvn_metric=stats.confidence.pvn(),
+        wrong_path_fetch_fraction=stats.wrong_path_fetch_fraction,
+        wasted_energy_fraction=wasted_fraction,
+        breakdown=power.breakdown(),
+        extra={
+            "fetch_throttled_cycles": stats.fetch_throttled_cycles,
+            "decode_throttled_cycles": stats.decode_throttled_cycles,
+            "selection_blocked": stats.selection_blocked,
+            "squashed": stats.squashed,
+        },
+    )
+
+
+def _label_of(spec: ControllerSpec) -> str:
+    kind = spec[0] if spec else "baseline"
+    if kind == "baseline":
+        return "baseline"
+    if kind == "throttle":
+        return spec[1] if len(spec) < 3 else f"{spec[1]}/{spec[2]}"
+    if kind == "throttle-noescalate":
+        return f"{spec[1]}-noesc"
+    if kind == "gating":
+        return f"gating(th={spec[1] if len(spec) > 1 else 2})"
+    if kind == "oracle":
+        return f"oracle-{spec[1]}"
+    return str(spec)
+
+
+def _config_key(config: ProcessorConfig) -> Tuple:
+    """A hashable fingerprint of everything that affects a run."""
+    return tuple(sorted(vars(config).items()))
+
+
+class ExperimentRunner:
+    """Runs (benchmark x mechanism) simulations with baseline memoisation."""
+
+    def __init__(
+        self,
+        config: Optional[ProcessorConfig] = None,
+        instructions: Optional[int] = None,
+        warmup: Optional[int] = None,
+    ) -> None:
+        self.config = config or table3_config()
+        self.instructions = instructions or default_instructions()
+        self.warmup = default_warmup() if warmup is None else warmup
+        self._cache: Dict[Tuple, SimulationResult] = {}
+
+    def run(
+        self,
+        benchmark: str,
+        controller_spec: ControllerSpec = ("baseline",),
+        config: Optional[ProcessorConfig] = None,
+        label: Optional[str] = None,
+    ) -> SimulationResult:
+        """Run one simulation (memoised on its full fingerprint)."""
+        config = config or self.config
+        key = (benchmark, controller_spec, _config_key(config),
+               self.instructions, self.warmup)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached if label is None else replace_label(cached, label)
+        result = run_benchmark(
+            benchmark,
+            controller_spec,
+            config=config,
+            instructions=self.instructions,
+            warmup=self.warmup,
+            label=label,
+        )
+        self._cache[key] = result
+        return result
+
+    def baseline(self, benchmark: str, config: Optional[ProcessorConfig] = None):
+        """The memoised baseline run of a benchmark."""
+        return self.run(benchmark, ("baseline",), config=config)
+
+
+def replace_label(result: SimulationResult, label: str) -> SimulationResult:
+    """Copy a result under a different display label."""
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(result, label=label)

@@ -1,0 +1,216 @@
+"""Static instructions (program text) and dynamic instructions (in-flight µops).
+
+A :class:`StaticInstruction` is immutable program text produced once by the
+program generator.  A :class:`DynamicInstruction` is a per-fetch instance
+carrying all the mutable pipeline state: rename tags, readiness, timing
+marks, speculation provenance and the per-unit energy tally used by the
+power model's wasted-work attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import BRANCH_OPCODES, Opcode, OpClass, opcode_class, opcode_latency
+
+
+class StaticInstruction:
+    """One instruction of the synthetic program text."""
+
+    __slots__ = (
+        "address",
+        "opcode",
+        "op_class",
+        "latency",
+        "dest",
+        "sources",
+        "block_id",
+        "mem_region",
+        "mem_stride",
+        "mem_footprint",
+        "is_branch",
+        "is_cond_branch",
+    )
+
+    def __init__(
+        self,
+        address: int,
+        opcode: Opcode,
+        dest: Optional[int] = None,
+        sources: Tuple[int, ...] = (),
+        block_id: int = -1,
+        mem_region: int = 0,
+        mem_stride: int = 0,
+        mem_footprint: int = 4096,
+    ) -> None:
+        self.address = address
+        self.opcode = opcode
+        self.op_class = opcode_class(opcode)
+        self.latency = opcode_latency(opcode)
+        self.dest = dest
+        self.sources = sources
+        self.block_id = block_id
+        # Memory ops generate addresses as
+        # region_base + (stride * visit) % footprint: the footprint is the
+        # instruction's working set, which controls its cache behaviour.
+        self.mem_region = mem_region
+        self.mem_stride = mem_stride
+        self.mem_footprint = mem_footprint
+        self.is_branch = opcode in BRANCH_OPCODES
+        self.is_cond_branch = opcode is Opcode.BR_COND
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticInstruction(addr={self.address:#x}, {self.opcode.value}, "
+            f"dest={self.dest}, srcs={self.sources})"
+        )
+
+
+class DynamicInstruction:
+    """One in-flight instance of a static instruction.
+
+    Attributes are grouped by pipeline concern:
+
+    * identity: ``seq`` (global fetch order), ``static``, ``pc``
+    * control flow: prediction, true outcome/target, confidence label
+    * rename: physical dest/sources, old mapping for recovery
+    * timing: the cycle each pipeline event happened
+    * speculation: ``on_wrong_path`` (known at fetch — the front-end knows
+      whether it is fetching beyond an unresolved misprediction), ``squashed``
+    * power: ``unit_accesses`` maps power-unit index → access count, so a
+      squashed instruction's activity can be moved to the wasted pool.
+    """
+
+    __slots__ = (
+        "seq",
+        "static",
+        "pc",
+        # control flow
+        "predicted_taken",
+        "predicted_target",
+        "actual_taken",
+        "actual_target",
+        "mispredicted",
+        "confidence",
+        "bpred_snapshot",
+        "ras_checkpoint",
+        "rename_checkpoint",
+        # fetch-recovery cursor: where the front-end resumes if this branch
+        # turns out mispredicted ("true" stream index or wrong-path cursor)
+        "resume_mode",
+        "resume_true_index",
+        "resume_wp_cursor",
+        "true_index",
+        # rename
+        "phys_dest",
+        "phys_sources",
+        "prev_phys_dest",
+        # issue state
+        "ready_sources",
+        "no_select",
+        "issued",
+        "completed",
+        "rob_index",
+        "lsq_index",
+        "throttle_token",
+        # memory
+        "mem_address",
+        "mem_latency",
+        # timing marks (cycle numbers, -1 = not yet)
+        "fetch_cycle",
+        "decode_cycle",
+        "rename_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        # speculation provenance
+        "on_wrong_path",
+        "squashed",
+        # power accounting: list indexed by PowerUnit value
+        "unit_accesses",
+    )
+
+    def __init__(self, seq: int, static: StaticInstruction) -> None:
+        self.seq = seq
+        self.static = static
+        self.pc = static.address
+
+        self.predicted_taken = False
+        self.predicted_target = 0
+        self.actual_taken = False
+        self.actual_target = 0
+        self.mispredicted = False
+        self.confidence = None
+        self.bpred_snapshot = None
+        self.ras_checkpoint = None
+        self.rename_checkpoint = None
+        self.resume_mode = None
+        self.resume_true_index = -1
+        self.resume_wp_cursor = None
+        self.true_index = -1
+
+        self.phys_dest = -1
+        self.phys_sources: Tuple[int, ...] = ()
+        self.prev_phys_dest = -1
+
+        self.ready_sources = 0
+        self.no_select = False
+        self.issued = False
+        self.completed = False
+        self.rob_index = -1
+        self.lsq_index = -1
+        self.throttle_token = None
+
+        self.mem_address = 0
+        self.mem_latency = 0
+
+        self.fetch_cycle = -1
+        self.decode_cycle = -1
+        self.rename_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.commit_cycle = -1
+
+        self.on_wrong_path = False
+        self.squashed = False
+
+        self.unit_accesses = None  # lazily attached by the power model
+
+    @property
+    def opcode(self) -> Opcode:
+        """The opcode of the underlying static instruction."""
+        return self.static.opcode
+
+    @property
+    def op_class(self) -> OpClass:
+        """The functional-unit class of the underlying static instruction."""
+        return self.static.op_class
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-transfer instruction."""
+        return self.static.is_branch
+
+    @property
+    def is_cond_branch(self) -> bool:
+        """True only for conditional branches."""
+        return self.static.is_cond_branch
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.static.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.static.opcode is Opcode.STORE
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.on_wrong_path:
+            flags.append("wrong-path")
+        if self.squashed:
+            flags.append("squashed")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"DynamicInstruction(seq={self.seq}, pc={self.pc:#x}, {self.opcode.value}{suffix})"

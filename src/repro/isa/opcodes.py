@@ -1,0 +1,117 @@
+"""Opcodes and operation classes of the synthetic ISA.
+
+Latencies follow the simulated machine of the paper's Table 3 (an Alpha-like
+8-wide core): single-cycle integer ALU ops, 3-cycle integer multiply, loads
+take one cycle of address generation plus the data-cache access, and the few
+floating-point ops SPECint workloads contain use modestly pipelined units.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class an instruction issues to."""
+
+    INT_ALU = "int_alu"
+    INT_MULT = "int_mult"
+    MEM_READ = "mem_read"
+    MEM_WRITE = "mem_write"
+    FP_ALU = "fp_alu"
+    FP_MULT = "fp_mult"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+class Opcode(enum.Enum):
+    """The instruction set.  Deliberately small but covering every OpClass."""
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHIFT = "shift"
+    CMP = "cmp"
+    MOV = "mov"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    FADD = "fadd"
+    FMUL = "fmul"
+    BR_COND = "br_cond"
+    BR_UNCOND = "br_uncond"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+
+_OPCODE_CLASS = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SHIFT: OpClass.INT_ALU,
+    Opcode.CMP: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MULT,
+    Opcode.DIV: OpClass.INT_MULT,
+    Opcode.LOAD: OpClass.MEM_READ,
+    Opcode.STORE: OpClass.MEM_WRITE,
+    Opcode.FADD: OpClass.FP_ALU,
+    Opcode.FMUL: OpClass.FP_MULT,
+    Opcode.BR_COND: OpClass.BRANCH,
+    Opcode.BR_UNCOND: OpClass.BRANCH,
+    Opcode.CALL: OpClass.BRANCH,
+    Opcode.RET: OpClass.BRANCH,
+    Opcode.NOP: OpClass.NOP,
+}
+
+# Execution latency in cycles, excluding cache access time for memory ops.
+_OPCODE_LATENCY = {
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.SHIFT: 1,
+    Opcode.CMP: 1,
+    Opcode.MOV: 1,
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.LOAD: 1,
+    Opcode.STORE: 1,
+    Opcode.FADD: 2,
+    Opcode.FMUL: 4,
+    Opcode.BR_COND: 1,
+    Opcode.BR_UNCOND: 1,
+    Opcode.CALL: 1,
+    Opcode.RET: 1,
+    Opcode.NOP: 1,
+}
+
+BRANCH_OPCODES = frozenset(
+    {Opcode.BR_COND, Opcode.BR_UNCOND, Opcode.CALL, Opcode.RET}
+)
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
+
+
+def opcode_class(opcode: Opcode) -> OpClass:
+    """Return the functional-unit class of an opcode."""
+    try:
+        return _OPCODE_CLASS[opcode]
+    except KeyError:
+        raise ConfigurationError(f"unknown opcode {opcode!r}") from None
+
+
+def opcode_latency(opcode: Opcode) -> int:
+    """Return the base execution latency of an opcode in cycles."""
+    try:
+        return _OPCODE_LATENCY[opcode]
+    except KeyError:
+        raise ConfigurationError(f"unknown opcode {opcode!r}") from None

@@ -1,0 +1,85 @@
+"""The Table-3 memory hierarchy: L1-I, L1-D, unified L2, TLB.
+
+Latencies follow the paper: 1-cycle L1 hits, 6-cycle L2 hits, 18-cycle
+L2 misses (memory).  The hierarchy returns total access latency and keeps
+the per-level access counts the power model consumes (``dcache``,
+``dcache2`` and the I-cache share of the fetch stage in Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import Cache
+from repro.memory.tlb import TLB
+
+
+class AccessResult:
+    """Latency and level-of-service of one memory access."""
+
+    __slots__ = ("latency", "l1_hit", "l2_hit")
+
+    def __init__(self, latency: int, l1_hit: bool, l2_hit: bool) -> None:
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
+
+
+class MemoryHierarchy:
+    """I-cache + D-cache backed by a unified L2 and a shared TLB."""
+
+    def __init__(
+        self,
+        icache_kb: int = 64,
+        dcache_kb: int = 64,
+        l1_ways: int = 2,
+        l2_kb: int = 512,
+        l2_ways: int = 4,
+        line_bytes: int = 32,
+        l1_latency: int = 1,
+        l2_latency: int = 6,
+        memory_latency: int = 18,
+        tlb_entries: int = 128,
+        extra_dcache_latency: int = 0,
+    ) -> None:
+        self.icache = Cache("icache", icache_kb * 1024, l1_ways, line_bytes)
+        self.dcache = Cache("dcache", dcache_kb * 1024, l1_ways, line_bytes)
+        self.l2 = Cache("l2", l2_kb * 1024, l2_ways, line_bytes)
+        self.tlb = TLB(entries=tlb_entries)
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+        # Deep-pipeline sweeps (paper §5.3.1) lengthen the D-cache pipe.
+        self.extra_dcache_latency = extra_dcache_latency
+
+    def fetch(self, address: int) -> AccessResult:
+        """Instruction fetch access for the line containing ``address``."""
+        return self._access(self.icache, address, translate=False)
+
+    def load(self, address: int) -> AccessResult:
+        """Data load access."""
+        result = self._access(self.dcache, address, translate=True)
+        result.latency += self.extra_dcache_latency
+        return result
+
+    def store(self, address: int) -> AccessResult:
+        """Data store access (write-allocate, modelled like a load)."""
+        result = self._access(self.dcache, address, translate=True)
+        result.latency += self.extra_dcache_latency
+        return result
+
+    def _access(self, l1: Cache, address: int, translate: bool) -> AccessResult:
+        latency = self.l1_latency
+        if translate:
+            latency += self.tlb.access(address)
+        l1_hit = l1.access(address)
+        if l1_hit:
+            return AccessResult(latency, True, False)
+        l2_hit = self.l2.access(address)
+        if l2_hit:
+            return AccessResult(latency + self.l2_latency, False, True)
+        return AccessResult(latency + self.memory_latency, False, False)
+
+    def reset_stats(self) -> None:
+        """Zero all cache statistics (content is preserved)."""
+        self.icache.stats.reset()
+        self.dcache.stats.reset()
+        self.l2.stats.reset()

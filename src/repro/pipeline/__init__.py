@@ -1,0 +1,14 @@
+"""Cycle-level out-of-order pipeline model (the Wattch/sim-outorder stand-in).
+
+The :class:`~repro.pipeline.processor.Processor` wires the Table-3
+microarchitecture: an 8-wide front-end of configurable depth, rename with
+per-branch checkpoints, a wakeup/select issue queue honouring the no-select
+bit, a ROB/LSQ back-end, full wrong-path fetch and execution, and per-cycle
+power accounting.
+"""
+
+from repro.pipeline.config import ProcessorConfig, table3_config
+from repro.pipeline.processor import Processor
+from repro.pipeline.stats import SimStats
+
+__all__ = ["ProcessorConfig", "table3_config", "Processor", "SimStats"]

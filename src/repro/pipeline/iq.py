@@ -1,0 +1,125 @@
+"""Issue queue: wakeup and select with the no-select bit.
+
+Dispatch inserts renamed instructions with their pending source tags;
+completion broadcasts a tag, waking dependents (CAM-style wakeup, the left
+half of the paper's Figure 2).  Select walks ready instructions oldest
+first and issues up to the machine width, honouring functional-unit slots
+and asking the speculation controller whether an instruction's request
+signal is suppressed — the paper's no-select bit (Figure 2 right).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import SimulationError
+from repro.isa.instruction import DynamicInstruction
+from repro.pipeline.resources import FunctionalUnitPool
+
+
+class IssueQueue:
+    """Out-of-order window between dispatch and execute."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise SimulationError("issue queue size must be positive")
+        self.size = size
+        self._count = 0
+        # Ready, unissued instructions in arrival (~program) order.
+        self._ready: List[DynamicInstruction] = []
+        # Tag -> instructions waiting on it.
+        self._waiters: Dict[int, List[DynamicInstruction]] = {}
+        self.wakeup_broadcasts = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        """True when dispatch must stall."""
+        return self._count >= self.size
+
+    def dispatch(self, instruction: DynamicInstruction, wait_tags) -> None:
+        """Insert a renamed instruction with its pending source tags."""
+        if self.full:
+            raise SimulationError("dispatch into a full issue queue")
+        self._count += 1
+        pending = 0
+        for tag in wait_tags:
+            pending += 1
+            self._waiters.setdefault(tag, []).append(instruction)
+        instruction.ready_sources = pending
+        if pending == 0:
+            self._ready.append(instruction)
+
+    def wakeup(self, tag: int) -> int:
+        """Broadcast a completed tag; returns the number of comparisons."""
+        waiters = self._waiters.pop(tag, None)
+        if not waiters:
+            return 0
+        woken = 0
+        for instruction in waiters:
+            if instruction.squashed or instruction.issued:
+                continue
+            instruction.ready_sources -= 1
+            if instruction.ready_sources == 0:
+                self._ready.append(instruction)
+            woken += 1
+        self.wakeup_broadcasts += 1
+        return woken
+
+    def select(
+        self,
+        issue_width: int,
+        fu_pool: FunctionalUnitPool,
+        blocks_selection: Callable[[DynamicInstruction], bool],
+    ) -> List[DynamicInstruction]:
+        """Pick up to ``issue_width`` ready instructions, oldest first."""
+        ready = self._ready
+        if not ready:
+            return []
+        ready.sort(key=lambda instruction: instruction.seq)
+        selected: List[DynamicInstruction] = []
+        survivors: List[DynamicInstruction] = []
+        for instruction in ready:
+            if instruction.squashed or instruction.issued:
+                continue
+            if len(selected) >= issue_width:
+                survivors.append(instruction)
+                continue
+            if blocks_selection(instruction):
+                survivors.append(instruction)
+                continue
+            if not fu_pool.try_claim(instruction.op_class):
+                survivors.append(instruction)
+                continue
+            instruction.issued = True
+            self._count -= 1
+            selected.append(instruction)
+        self._ready = survivors
+        return selected
+
+    def squash_younger(self, seq: int) -> None:
+        """Drop every queued instruction younger than ``seq``.
+
+        Entries are removed lazily from the waiter lists (their ``squashed``
+        flag makes wakeup skip them); the ready list and the occupancy count
+        are repaired eagerly.
+        """
+        kept_ready = [
+            instruction
+            for instruction in self._ready
+            if instruction.seq <= seq and not instruction.squashed
+        ]
+        self._ready = kept_ready
+
+    def note_squashed(self, instruction: DynamicInstruction) -> None:
+        """Account the removal of one squashed, unissued instruction."""
+        if not instruction.issued:
+            self._count -= 1
+            if self._count < 0:
+                raise SimulationError("issue queue count went negative")
+
+    def forget_tag(self, tag: int) -> None:
+        """Drop the waiter list of a squashed producer."""
+        self._waiters.pop(tag, None)

@@ -1,0 +1,42 @@
+"""Load/store queue: occupancy tracking for the Table-3 64-entry LSQ.
+
+Memory disambiguation is optimistic (loads never wait on older stores);
+the LSQ's simulated role is the structural hazard at dispatch and the
+activity counts the power model's ``lsq`` block consumes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.instruction import DynamicInstruction
+
+
+class LoadStoreQueue:
+    """Bounded set of in-flight memory operations."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise SimulationError("LSQ size must be positive")
+        self.size = size
+        self._occupied = 0
+
+    def __len__(self) -> int:
+        return self._occupied
+
+    @property
+    def full(self) -> bool:
+        """True when a memory op cannot dispatch this cycle."""
+        return self._occupied >= self.size
+
+    def allocate(self, instruction: DynamicInstruction) -> None:
+        """Reserve an entry at dispatch."""
+        if self.full:
+            raise SimulationError("allocate into a full LSQ")
+        instruction.lsq_index = self._occupied
+        self._occupied += 1
+
+    def release(self) -> None:
+        """Free an entry (commit or squash of a memory op)."""
+        if self._occupied <= 0:
+            raise SimulationError("release from an empty LSQ")
+        self._occupied -= 1

@@ -1,0 +1,681 @@
+"""The cycle-level out-of-order processor.
+
+One :class:`Processor` couples a synthetic program to the Table-3
+microarchitecture and a speculation controller (baseline, Selective
+Throttling, Pipeline Gating or an oracle).  Each cycle runs the stages in
+reverse pipeline order::
+
+    commit -> writeback/resolve -> issue/select -> rename/dispatch
+           -> decode -> fetch -> power accounting
+
+**Wrong-path execution is real**: the front-end walks the program CFG along
+its *predictions*; a misprediction sends it down the wrong target, fetching,
+decoding and executing real wrong-path code until the branch resolves at
+execute, squashes younger instructions and redirects fetch.  Squashed
+instructions carry their per-unit access tallies into the power model's
+wasted pool — that is what reproduces the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.bpred.base import BranchPredictor
+from repro.bpred.bimodal import BimodalPredictor
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.gshare import GSharePredictor
+from repro.bpred.hybrid import HybridPredictor
+from repro.bpred.perceptron import PerceptronPredictor
+from repro.bpred.ras import ReturnAddressStack
+from repro.bpred.static import StaticPredictor
+from repro.bpred.twolevel import LocalTwoLevelPredictor
+from repro.confidence.base import ConfidenceEstimator
+from repro.confidence.bpru import BPRUEstimator
+from repro.confidence.jrs import JRSEstimator
+from repro.confidence.perfect import PerfectEstimator
+from repro.confidence.selfconf import (
+    CounterConfidenceEstimator,
+    PerceptronConfidenceEstimator,
+)
+from repro.core.throttler import NullController, SpeculationController
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.opcodes import Opcode
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.iq import IssueQueue
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.renamer import RegisterRenamer
+from repro.pipeline.resources import FunctionalUnitPool
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.stats import SimStats
+from repro.power.model import ClockGatingStyle, PowerModel
+from repro.power.units import PowerUnit, UnitPowerTable
+from repro.program.cfg import Program
+from repro.program.walker import TruePathOracle, WrongPathNavigator
+
+_ICACHE = int(PowerUnit.ICACHE)
+_BPRED = int(PowerUnit.BPRED)
+_REGFILE = int(PowerUnit.REGFILE)
+_RENAME = int(PowerUnit.RENAME)
+_WINDOW = int(PowerUnit.WINDOW)
+_LSQ = int(PowerUnit.LSQ)
+_ALU = int(PowerUnit.ALU)
+_DCACHE = int(PowerUnit.DCACHE)
+_DCACHE2 = int(PowerUnit.DCACHE2)
+_RESULTBUS = int(PowerUnit.RESULTBUS)
+
+
+def build_predictor(config: ProcessorConfig) -> BranchPredictor:
+    """Instantiate the direction predictor named by the configuration."""
+    kind = config.bpred_kind
+    if kind == "gshare":
+        return GSharePredictor(config.bpred_size_kb)
+    if kind == "bimodal":
+        return BimodalPredictor(config.bpred_size_kb)
+    if kind == "local2level":
+        return LocalTwoLevelPredictor()
+    if kind == "hybrid":
+        return HybridPredictor(config.bpred_size_kb)
+    if kind == "perceptron":
+        return PerceptronPredictor(config.bpred_size_kb)
+    if kind == "static":
+        return StaticPredictor()
+    raise ConfigurationError(f"unknown predictor kind {kind!r}")
+
+
+def build_estimator(config: ProcessorConfig) -> Optional[ConfidenceEstimator]:
+    """Instantiate the confidence estimator named by the configuration."""
+    kind = config.confidence_kind
+    if kind == "bpru":
+        return BPRUEstimator(config.confidence_size_kb)
+    if kind == "jrs":
+        return JRSEstimator(config.confidence_size_kb, config.jrs_threshold)
+    if kind == "perfect":
+        return PerfectEstimator()
+    if kind == "perceptron-self":
+        return PerceptronConfidenceEstimator()
+    if kind == "counter-self":
+        return CounterConfidenceEstimator()
+    if kind == "none":
+        return None
+    raise ConfigurationError(f"unknown confidence kind {kind!r}")
+
+
+class Processor:
+    """Cycle-level model of the paper's simulated machine."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        program: Program,
+        controller: Optional[SpeculationController] = None,
+        power_table: Optional[UnitPowerTable] = None,
+        clock_gating: ClockGatingStyle = ClockGatingStyle.CC3,
+        seed: int = 1,
+    ) -> None:
+        self.config = config
+        self.program = program
+        self.controller = controller or NullController()
+        self.seed = seed
+
+        self.bpred = build_predictor(config)
+        self.confidence = build_estimator(config)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self.memory = MemoryHierarchy(
+            icache_kb=config.icache_kb,
+            dcache_kb=config.dcache_kb,
+            l1_ways=config.l1_ways,
+            l2_kb=config.l2_kb,
+            l2_ways=config.l2_ways,
+            line_bytes=config.line_bytes,
+            l1_latency=config.l1_latency,
+            l2_latency=config.l2_latency,
+            memory_latency=config.memory_latency,
+            tlb_entries=config.tlb_entries,
+            extra_dcache_latency=config.extra_dcache_latency,
+        )
+        self._power_table = power_table
+        self._clock_gating = clock_gating
+        self.power = PowerModel(power_table, clock_gating)
+
+        self.oracle = TruePathOracle(program, seed)
+        self.navigator = WrongPathNavigator(program, seed)
+
+        # Fetch state.
+        self.cycle = 0
+        self._seq = 0
+        self._fetch_mode = "true"
+        self._true_index = 0
+        self._wp_cursor = None
+        self._wp_salt = 0
+        self._fetch_stall_until = 0
+        self._unresolved_mispredicts = 0
+        self._line_shift = config.line_bytes.bit_length() - 1
+
+        # In-order front-end pipes: deques of (ready_cycle, instruction).
+        self._fetch_pipe = deque()
+        self._decode_pipe = deque()
+
+        # Back end.
+        self.renamer = RegisterRenamer()
+        self.rob = ReorderBuffer(config.rob_size)
+        self.iq = IssueQueue(config.iq_size)
+        self.lsq = LoadStoreQueue(config.lsq_size)
+        self.fu_pool = FunctionalUnitPool(config)
+        self._completions: Dict[int, List[DynamicInstruction]] = {}
+
+        self.stats = SimStats()
+        self._last_committed_true_index = 0
+        self._commits_since_prune = 0
+        # Optional observer with on_commit(instr, cycle) / on_squash(instr,
+        # cycle) callbacks (see repro.tracing); None costs nothing.
+        self.observer = None
+
+    # ------------------------------------------------------------------
+    # Public driving interface
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int, warmup_instructions: int = 0) -> SimStats:
+        """Simulate until ``max_instructions`` commit in the measured window.
+
+        ``warmup_instructions`` commit first with statistics discarded
+        (microarchitectural state — caches, predictor, estimator — is kept,
+        as in any sampled simulation methodology).
+        """
+        if max_instructions <= 0:
+            raise SimulationError("max_instructions must be positive")
+        if warmup_instructions:
+            self._run_until(warmup_instructions)
+            self.reset_measurement()
+        self._run_until(max_instructions)
+        return self.stats
+
+    def reset_measurement(self) -> None:
+        """Zero statistics and energy; keep all microarchitectural state."""
+        self.stats = SimStats()
+        self.power = PowerModel(self._power_table, self._clock_gating)
+        self.memory.reset_stats()
+
+    def _run_until(self, instructions: int) -> None:
+        base = self.stats.committed
+        target = base + instructions
+        limit = self.cycle + instructions * 400 + 100_000
+        while self.stats.committed < target:
+            self.step()
+            if self.cycle > limit:
+                raise SimulationError(
+                    f"no forward progress: {self.stats.committed - base} of "
+                    f"{instructions} instructions after {self.cycle} cycles"
+                )
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        cycle = self.cycle
+        activity = [0] * 11
+        self._commit(cycle, activity)
+        self._complete(cycle, activity)
+        self._issue(cycle, activity)
+        self._rename(cycle, activity)
+        self._decode(cycle)
+        self._fetch(cycle, activity)
+        self.power.end_cycle(activity, self.rob.occupancy)
+        self.power.note_instr_cycles(len(self.rob))
+        self.stats.cycles += 1
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Stage: commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int, activity: List[int]) -> None:
+        stats = self.stats
+        rob = self.rob
+        committed = 0
+        while committed < self.config.commit_width:
+            head = rob.head()
+            if head is None or not head.completed:
+                break
+            rob.pop_head()
+            head.commit_cycle = cycle
+            tally = head.unit_accesses
+            if head.phys_dest >= 0:
+                activity[_REGFILE] += 1
+                tally[_REGFILE] += 1
+            opcode = head.opcode
+            if opcode is Opcode.STORE:
+                result = self.memory.store(head.mem_address)
+                activity[_DCACHE] += 1
+                tally[_DCACHE] += 1
+                if not result.l1_hit:
+                    activity[_DCACHE2] += 1
+                    tally[_DCACHE2] += 1
+                self.lsq.release()
+            elif opcode is Opcode.LOAD:
+                self.lsq.release()
+            elif head.is_cond_branch:
+                self._commit_branch(head, activity)
+            self.power.credit_committed(head, cycle)
+            if self.observer is not None:
+                self.observer.on_commit(head, cycle)
+            stats.committed += 1
+            committed += 1
+            if head.true_index >= 0:
+                self._last_committed_true_index = head.true_index
+        self._commits_since_prune += committed
+        if self._commits_since_prune >= 8192:
+            self.oracle.prune_before(self._last_committed_true_index)
+            self._commits_since_prune = 0
+
+    def _commit_branch(self, instr: DynamicInstruction, activity: List[int]) -> None:
+        stats = self.stats
+        stats.cond_branches_committed += 1
+        correct = not instr.mispredicted
+        if not correct:
+            stats.mispredictions_committed += 1
+        self.bpred.train(instr.pc, instr.actual_taken, instr.bpred_snapshot)
+        activity[_BPRED] += 1
+        instr.unit_accesses[_BPRED] += 1
+        if self.confidence is not None:
+            self.confidence.train(
+                instr.pc, correct, instr.bpred_snapshot, taken=instr.actual_taken
+            )
+            if instr.confidence is not None:
+                stats.confidence.record(instr.confidence, correct)
+        if instr.actual_taken and instr.actual_target >= 0:
+            target_address = self.program.block(instr.actual_target).address
+            self.btb.update(instr.pc, target_address)
+
+    # ------------------------------------------------------------------
+    # Stage: writeback / branch resolution
+    # ------------------------------------------------------------------
+
+    def _complete(self, cycle: int, activity: List[int]) -> None:
+        events = self._completions.pop(cycle, None)
+        if not events:
+            return
+        if len(events) > 1:
+            events.sort(key=lambda instruction: instruction.seq)
+        for instr in events:
+            if instr.squashed:
+                continue
+            instr.completed = True
+            instr.complete_cycle = cycle
+            tally = instr.unit_accesses
+            if instr.phys_dest >= 0:
+                self.renamer.mark_completed(instr.phys_dest)
+                activity[_RESULTBUS] += 1
+                tally[_RESULTBUS] += 1
+                woken = self.iq.wakeup(instr.phys_dest)
+                if woken:
+                    activity[_WINDOW] += 1
+                    tally[_WINDOW] += 1
+            if instr.is_cond_branch:
+                self.controller.on_branch_resolved(instr)
+                if instr.mispredicted:
+                    self._recover(instr, cycle)
+
+    def _recover(self, branch: DynamicInstruction, cycle: int) -> None:
+        """Squash younger instructions and redirect fetch after ``branch``."""
+        stats = self.stats
+        stats.squashes += 1
+        # Remove every younger instruction, youngest first.
+        for instr in self.rob.squash_younger(branch.seq):
+            self._squash_instr(instr, cycle, in_backend=True)
+        self.iq.squash_younger(branch.seq)
+        for _, instr in self._fetch_pipe:
+            self._squash_instr(instr, cycle, in_backend=False)
+        self._fetch_pipe.clear()
+        for _, instr in self._decode_pipe:
+            self._squash_instr(instr, cycle, in_backend=False)
+        self._decode_pipe.clear()
+
+        # Architectural repair.
+        self.renamer.restore(branch.rename_checkpoint)
+        self.bpred.restore(branch.bpred_snapshot, branch.actual_taken)
+        self.ras.restore(branch.ras_checkpoint)
+
+        # Redirect fetch down the branch's actual path.
+        if branch.resume_mode == "true":
+            self._fetch_mode = "true"
+            self._true_index = branch.resume_true_index
+            self._wp_cursor = None
+        else:
+            self._fetch_mode = "wrong"
+            self._wp_cursor = branch.resume_wp_cursor
+        self._fetch_stall_until = cycle + self.config.redirect_penalty
+        self._unresolved_mispredicts -= 1
+        if self._unresolved_mispredicts < 0:
+            raise SimulationError("unresolved misprediction count underflow")
+
+    def _squash_instr(
+        self, instr: DynamicInstruction, cycle: int, in_backend: bool
+    ) -> None:
+        instr.squashed = True
+        stats = self.stats
+        stats.squashed += 1
+        self.power.credit_squashed(instr, cycle)
+        if self.observer is not None:
+            self.observer.on_squash(instr, cycle)
+        if instr.is_cond_branch:
+            self.controller.on_branch_squashed(instr)
+            # A mispredicted branch that already resolved was discounted at
+            # resolution; only still-outstanding ones are discounted here.
+            if instr.mispredicted and not instr.completed:
+                self._unresolved_mispredicts -= 1
+        if not in_backend:
+            return
+        tag = instr.phys_dest
+        if tag >= 0:
+            self.renamer.forget(tag)
+            self.iq.forget_tag(tag)
+        if not instr.issued:
+            self.iq.note_squashed(instr)
+        if instr.is_load or instr.is_store:
+            self.lsq.release()
+
+    # ------------------------------------------------------------------
+    # Stage: issue / select
+    # ------------------------------------------------------------------
+
+    def _issue(self, cycle: int, activity: List[int]) -> None:
+        self.fu_pool.new_cycle(cycle)
+        controller = self.controller
+        stats = self.stats
+
+        def blocks(instruction: DynamicInstruction) -> bool:
+            blocked = controller.blocks_selection(instruction)
+            if blocked:
+                stats.selection_blocked += 1
+            return blocked
+
+        selected = self.iq.select(self.config.issue_width, self.fu_pool, blocks)
+        if not selected:
+            return
+        extra_exec = self.config.extra_exec_latency
+        for instr in selected:
+            instr.issue_cycle = cycle
+            tally = instr.unit_accesses
+            activity[_WINDOW] += 1
+            tally[_WINDOW] += 1
+            activity[_ALU] += 1
+            tally[_ALU] += 1
+            latency = instr.static.latency + extra_exec
+            opcode = instr.opcode
+            if opcode is Opcode.LOAD:
+                result = self.memory.load(instr.mem_address)
+                activity[_DCACHE] += 1
+                tally[_DCACHE] += 1
+                if not result.l1_hit:
+                    activity[_DCACHE2] += 1
+                    tally[_DCACHE2] += 1
+                    # The miss occupies an MSHR until the fill returns;
+                    # squashing the load does not recall the fill.
+                    self.fu_pool.hold_mshr(cycle + result.latency)
+                latency += result.latency
+                instr.mem_latency = result.latency
+            if instr.is_load or instr.is_store:
+                activity[_LSQ] += 1
+                tally[_LSQ] += 1
+            stats.issued += 1
+            if instr.on_wrong_path:
+                stats.issued_wrong_path += 1
+            self._completions.setdefault(cycle + latency, []).append(instr)
+
+    # ------------------------------------------------------------------
+    # Stage: rename / dispatch
+    # ------------------------------------------------------------------
+
+    def _rename(self, cycle: int, activity: List[int]) -> None:
+        pipe = self._decode_pipe
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        stats = self.stats
+        renamed = 0
+        width = self.config.decode_width
+        while renamed < width and pipe:
+            ready_cycle, instr = pipe[0]
+            if ready_cycle > cycle:
+                break
+            if instr.squashed:
+                pipe.popleft()
+                continue
+            is_mem = instr.is_load or instr.is_store
+            if rob.full or iq.full or (is_mem and lsq.full):
+                break
+            pipe.popleft()
+            instr.rename_cycle = cycle
+            waits = self.renamer.rename(instr)
+            tally = instr.unit_accesses
+            activity[_RENAME] += 1
+            tally[_RENAME] += 1
+            source_reads = len(instr.static.sources)
+            if source_reads:
+                activity[_REGFILE] += source_reads
+                tally[_REGFILE] += source_reads
+            activity[_WINDOW] += 1
+            tally[_WINDOW] += 1
+            if instr.is_cond_branch:
+                instr.rename_checkpoint = self.renamer.checkpoint()
+            rob.push(instr)
+            if is_mem:
+                lsq.allocate(instr)
+                activity[_LSQ] += 1
+                tally[_LSQ] += 1
+            iq.dispatch(instr, waits)
+            stats.renamed += 1
+            renamed += 1
+
+    # ------------------------------------------------------------------
+    # Stage: decode
+    # ------------------------------------------------------------------
+
+    def _decode(self, cycle: int) -> None:
+        pipe = self._fetch_pipe
+        out = self._decode_pipe
+        controller = self.controller
+        stats = self.stats
+        latency = self.config.decode_to_rename_latency
+        moved = 0
+        width = self.config.decode_width
+        throttled = False
+        while moved < width and pipe:
+            ready_cycle, instr = pipe[0]
+            if ready_cycle > cycle:
+                break
+            if instr.squashed:
+                pipe.popleft()
+                continue
+            if controller.blocks_decode(cycle, instr):
+                throttled = True
+                break
+            pipe.popleft()
+            instr.decode_cycle = cycle
+            out.append((cycle + latency, instr))
+            stats.decoded += 1
+            moved += 1
+        if throttled:
+            stats.decode_throttled_cycles += 1
+
+    # ------------------------------------------------------------------
+    # Stage: fetch
+    # ------------------------------------------------------------------
+
+    def _fetch(self, cycle: int, activity: List[int]) -> None:
+        stats = self.stats
+        if cycle < self._fetch_stall_until:
+            stats.redirect_stall_cycles += 1
+            return
+        controller = self.controller
+        if not controller.fetch_allowed(cycle):
+            stats.fetch_throttled_cycles += 1
+            return
+        if controller.blocks_wrong_path_fetch and self._fetch_mode == "wrong":
+            # Oracle fetch: wait at the misprediction until resolution.
+            return
+        buffered = len(self._fetch_pipe) + len(self._decode_pipe)
+        capacity = self.config.effective_fetch_buffer - buffered
+        if capacity <= 0:
+            return
+
+        config = self.config
+        width = min(config.fetch_width, capacity)
+        max_taken = config.max_taken_branches_per_cycle
+        decode_latency = config.fetch_to_decode_latency
+        oracle = self.oracle
+        navigator = self.navigator
+        line_shift = self._line_shift
+
+        fetched = 0
+        taken_branches = 0
+        current_line = -1
+        while fetched < width:
+            on_true = self._fetch_mode == "true"
+            if on_true:
+                record = oracle.get(self._true_index)
+                static = record.static
+                actual_taken = record.taken
+                actual_target = record.target_block
+                mem_address = record.mem_address
+                next_cursor = None
+            else:
+                (static, actual_taken, actual_target,
+                 next_cursor, mem_address) = navigator.fetch_one(self._wp_cursor)
+
+            line = static.address >> line_shift
+            if line != current_line:
+                result = self.memory.fetch(static.address)
+                if not result.l1_hit:
+                    activity[_ICACHE] += 1
+                    activity[_DCACHE2] += 1
+                    self._fetch_stall_until = cycle + result.latency - 1
+                    stats.icache_stall_cycles += 1
+                    break
+                current_line = line
+
+            instr = DynamicInstruction(self._seq, static)
+            self._seq += 1
+            instr.unit_accesses = [0] * 11
+            instr.fetch_cycle = cycle
+            instr.on_wrong_path = not on_true
+            instr.mem_address = mem_address
+            if on_true:
+                instr.true_index = self._true_index
+            activity[_ICACHE] += 1
+            instr.unit_accesses[_ICACHE] += 1
+
+            stop_after = False
+            if static.is_branch:
+                stop_after = self._fetch_branch(
+                    instr, actual_taken, actual_target, next_cursor,
+                    on_true, activity,
+                )
+                if instr.predicted_taken:
+                    taken_branches += 1
+            else:
+                if on_true:
+                    self._true_index += 1
+                else:
+                    self._wp_cursor = next_cursor
+
+            self._fetch_pipe.append((cycle + decode_latency, instr))
+            stats.fetched += 1
+            if instr.on_wrong_path:
+                stats.fetched_wrong_path += 1
+            fetched += 1
+            if stop_after or taken_branches >= max_taken:
+                break
+
+    def _fetch_branch(
+        self,
+        instr: DynamicInstruction,
+        actual_taken: bool,
+        actual_target: int,
+        next_cursor,
+        on_true: bool,
+        activity: List[int],
+    ) -> bool:
+        """Handle a control instruction at fetch.  Returns True to stop the
+        fetch group after this instruction (BTB bubble, oracle stall, or a
+        divergence onto the wrong path)."""
+        stats = self.stats
+        instr.actual_taken = actual_taken
+        instr.actual_target = actual_target
+        tally = instr.unit_accesses
+        activity[_BPRED] += 1
+        tally[_BPRED] += 1
+        opcode = instr.opcode
+        stop_after = False
+
+        if instr.is_cond_branch:
+            stats.cond_branches_fetched += 1
+            prediction = self.bpred.predict(instr.pc)
+            instr.predicted_taken = prediction.taken
+            instr.bpred_snapshot = prediction.snapshot
+            instr.mispredicted = prediction.taken != actual_taken
+            instr.ras_checkpoint = self.ras.checkpoint()
+            if self.confidence is not None:
+                self.confidence.set_actual(actual_taken)
+                level = self.confidence.estimate(
+                    instr.pc, prediction, self.bpred,
+                    update_state=not instr.on_wrong_path,
+                )
+                instr.confidence = level
+                self.controller.on_branch_fetched(instr, level)
+            if prediction.taken and self.btb.lookup(instr.pc) is None:
+                # Taken prediction without a cached target: one-cycle bubble.
+                stop_after = True
+            self._advance_after_cond(instr, on_true, next_cursor)
+            if instr.mispredicted:
+                self._unresolved_mispredicts += 1
+                stop_after = True if self.controller.blocks_wrong_path_fetch else stop_after
+        else:
+            # Unconditional control: never mispredicts in this model.
+            instr.predicted_taken = True
+            instr.ras_checkpoint = self.ras.checkpoint()
+            if opcode is Opcode.CALL:
+                self.ras.push(instr.pc + 4)
+            elif opcode is Opcode.RET:
+                self.ras.pop()
+            self.btb.update(instr.pc, 0 if actual_target < 0
+                            else self.program.block(actual_target).address)
+            if on_true:
+                self._true_index += 1
+            else:
+                self._wp_cursor = next_cursor
+        return stop_after
+
+    def _advance_after_cond(
+        self, instr: DynamicInstruction, on_true: bool, next_cursor
+    ) -> None:
+        """Advance the fetch cursor along the *predicted* direction and
+        store the recovery cursor for the *actual* direction."""
+        block = self.program.block(instr.static.block_id)
+        predicted_target = block.taken_target if instr.predicted_taken else block.fall_target
+
+        if on_true:
+            resume_index = self._true_index + 1
+            instr.resume_mode = "true"
+            instr.resume_true_index = resume_index
+            if instr.mispredicted:
+                # Diverge onto the wrong path at the predicted target.
+                self._wp_salt += 1
+                self._fetch_mode = "wrong"
+                self._wp_cursor = self.navigator.start_cursor(
+                    predicted_target, self._wp_salt * 8191 + instr.seq
+                )
+                self._true_index = resume_index
+            else:
+                self._true_index = resume_index
+        else:
+            instr.resume_mode = "wrong"
+            instr.resume_wp_cursor = next_cursor
+            if instr.mispredicted:
+                # Redirect this wrong path along its own predicted direction.
+                _, _, stack, step = next_cursor
+                self._wp_cursor = (predicted_target, 0, stack, step)
+            else:
+                self._wp_cursor = next_cursor

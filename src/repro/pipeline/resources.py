@@ -1,0 +1,94 @@
+"""Functional-unit issue slots and miss-status registers.
+
+Units are fully pipelined (SimpleScalar's defaults for everything the
+SPECint workloads exercise), so the per-cycle constraint is issue slots per
+class: 8 integer ALUs, 2 integer multipliers, 2 memory ports, 8 FP adders,
+1 FP multiplier (Table 3).
+
+Cache misses additionally occupy a miss-status register (MSHR) until the
+fill returns, and a squash does **not** cancel an in-flight fill — exactly
+like real hardware.  This is the channel through which wrong-path loads
+"waste resources and may delay the execution of correct ones" (paper §3):
+a wrong-path load that misses to memory holds an MSHR for tens of cycles
+after the branch resolved, stalling true-path loads issued after recovery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import ProcessorConfig
+
+
+class FunctionalUnitPool:
+    """Per-cycle issue slots by operation class, plus the MSHR ledger."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self._capacity: Dict[OpClass, int] = {
+            OpClass.INT_ALU: config.int_alu,
+            OpClass.INT_MULT: config.int_mult,
+            OpClass.MEM_READ: config.mem_ports,
+            OpClass.MEM_WRITE: config.mem_ports,
+            OpClass.FP_ALU: config.fp_alu,
+            OpClass.FP_MULT: config.fp_mult,
+            # Branches resolve on the integer ALUs.
+            OpClass.BRANCH: config.int_alu,
+            OpClass.NOP: config.issue_width,
+        }
+        self._available: Dict[OpClass, int] = dict(self._capacity)
+        # Loads and stores share the memory ports.
+        self._mem_available = config.mem_ports
+        self._mshr_count = config.mshr_count
+        self._mshr_release: List[int] = []  # fill-completion cycles (heap)
+
+    def new_cycle(self, cycle: int = 0) -> None:
+        """Refresh all slots at the start of a cycle; retire finished fills."""
+        self._available = dict(self._capacity)
+        self._mem_available = self._capacity[OpClass.MEM_READ]
+        release = self._mshr_release
+        while release and release[0] <= cycle:
+            heapq.heappop(release)
+
+    def try_claim(self, op_class: OpClass) -> bool:
+        """Claim one slot of ``op_class``; False if none remain."""
+        if op_class in (OpClass.MEM_READ, OpClass.MEM_WRITE):
+            if self._mem_available <= 0:
+                return False
+            if op_class is OpClass.MEM_READ and not self.mshr_free:
+                return False  # a new load could miss; no MSHR to receive it
+            self._mem_available -= 1
+            return True
+        if op_class is OpClass.BRANCH or op_class is OpClass.INT_ALU:
+            # Branches and ALU ops share the integer ALUs.
+            if self._available[OpClass.INT_ALU] <= 0:
+                return False
+            self._available[OpClass.INT_ALU] -= 1
+            return True
+        if self._available[op_class] <= 0:
+            return False
+        self._available[op_class] -= 1
+        return True
+
+    @property
+    def mshr_free(self) -> bool:
+        """True while at least one miss-status register is available."""
+        return len(self._mshr_release) < self._mshr_count
+
+    @property
+    def mshr_busy_count(self) -> int:
+        """Number of outstanding fills."""
+        return len(self._mshr_release)
+
+    def hold_mshr(self, until_cycle: int) -> None:
+        """Occupy one MSHR until ``until_cycle`` (a miss left for fill).
+
+        Fills outlive squashes: the pipeline calls this for wrong-path
+        misses too, and nothing ever cancels an allocated entry early.
+        """
+        heapq.heappush(self._mshr_release, until_cycle)
+
+    def capacity(self, op_class: OpClass) -> int:
+        """Total slots per cycle for a class."""
+        return self._capacity[op_class]

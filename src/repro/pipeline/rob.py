@@ -1,0 +1,60 @@
+"""Reorder buffer: a bounded FIFO of in-flight instructions."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.isa.instruction import DynamicInstruction
+
+
+class ReorderBuffer:
+    """In-order window of every renamed, uncommitted instruction."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise SimulationError("ROB size must be positive")
+        self.size = size
+        self._entries: Deque[DynamicInstruction] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when dispatch must stall."""
+        return len(self._entries) >= self.size
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction (drives clock-tree power)."""
+        return len(self._entries) / self.size
+
+    def head(self) -> Optional[DynamicInstruction]:
+        """Oldest instruction, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    def push(self, instruction: DynamicInstruction) -> None:
+        """Append at the tail (program order)."""
+        if self.full:
+            raise SimulationError("push into a full ROB")
+        instruction.rob_index = instruction.seq
+        self._entries.append(instruction)
+
+    def pop_head(self) -> DynamicInstruction:
+        """Commit the oldest instruction."""
+        if not self._entries:
+            raise SimulationError("pop from an empty ROB")
+        return self._entries.popleft()
+
+    def squash_younger(self, seq: int) -> List[DynamicInstruction]:
+        """Remove and return every instruction younger than ``seq``."""
+        squashed: List[DynamicInstruction] = []
+        entries = self._entries
+        while entries and entries[-1].seq > seq:
+            squashed.append(entries.pop())
+        return squashed
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,67 @@
+"""Per-run simulation statistics."""
+
+from __future__ import annotations
+
+from repro.confidence.metrics import ConfidenceMatrix
+
+
+class SimStats:
+    """Counters accumulated during one measured simulation window."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        # Instruction flow.
+        self.fetched = 0
+        self.fetched_wrong_path = 0
+        self.decoded = 0
+        self.renamed = 0
+        self.issued = 0
+        self.issued_wrong_path = 0
+        self.committed = 0
+        self.squashed = 0
+        # Branches.
+        self.cond_branches_fetched = 0
+        self.cond_branches_committed = 0
+        self.mispredictions_committed = 0
+        self.squashes = 0
+        # Throttling.
+        self.fetch_throttled_cycles = 0
+        self.decode_throttled_cycles = 0
+        self.selection_blocked = 0
+        # Fetch stalls.
+        self.icache_stall_cycles = 0
+        self.redirect_stall_cycles = 0
+        # Confidence quality.
+        self.confidence = ConfidenceMatrix()
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_miss_rate(self) -> float:
+        """Misprediction rate over committed conditional branches."""
+        if self.cond_branches_committed == 0:
+            return 0.0
+        return self.mispredictions_committed / self.cond_branches_committed
+
+    @property
+    def wrong_path_fetch_fraction(self) -> float:
+        """Fraction of fetched instructions that were wrong-path."""
+        return self.fetched_wrong_path / self.fetched if self.fetched else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat summary for printing and results storage."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "fetched": self.fetched,
+            "fetched_wrong_path": self.fetched_wrong_path,
+            "squashed": self.squashed,
+            "cond_branches": self.cond_branches_committed,
+            "miss_rate": self.branch_miss_rate,
+            "spec": self.confidence.spec(),
+            "pvn": self.confidence.pvn(),
+        }

@@ -1,0 +1,27 @@
+"""Wattch-style architecture-level power model.
+
+Eleven power blocks (the rows of the paper's Table 1) accumulate per-cycle
+activity from the pipeline.  The default clock-gating style is Wattch's
+``cc3``: unit power scales linearly with port usage and an inactive unit
+still dissipates 10% of its maximum power — exactly the configuration the
+paper evaluates.  Per-access dynamic energy is attributed to the owning
+instruction so the energy of squashed (mis-speculated) instructions can be
+reported separately, reproducing Table 1's "wasted" column.
+"""
+
+from repro.power.model import ClockGatingStyle, PowerModel
+from repro.power.units import (
+    NUM_UNITS,
+    PowerUnit,
+    UnitPowerTable,
+    default_unit_powers,
+)
+
+__all__ = [
+    "PowerUnit",
+    "NUM_UNITS",
+    "UnitPowerTable",
+    "default_unit_powers",
+    "PowerModel",
+    "ClockGatingStyle",
+]

@@ -1,0 +1,53 @@
+"""Calibration of unit maximum powers against the paper's Table 1.
+
+Runs the eight-benchmark baseline, measures the average cc3 utilisation of
+every power block, and solves for the unit maximum powers that make the
+baseline's power breakdown equal the paper's (56.4 W total, clock 33.8%,
+window 18.2%, ...).  The resulting utilisations are frozen into
+``repro.power.units._BASELINE_UTILIZATION``.
+
+Run as a module to print a fresh calibration::
+
+    python -m repro.power.calibrate [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor
+from repro.power.units import PowerUnit
+from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+
+
+def measure_baseline_utilization(
+    instructions: int = 30_000, warmup: int = 10_000
+) -> Dict[PowerUnit, float]:
+    """Average per-unit cc3 usage over the baseline suite."""
+    sums = {unit: 0.0 for unit in PowerUnit}
+    for name in BENCHMARK_NAMES:
+        spec = benchmark_spec(name)
+        processor = Processor(table3_config(), spec.build_program(), seed=spec.seed)
+        processor.run(instructions, warmup_instructions=warmup)
+        utilization = processor.power.average_utilization()
+        for unit in PowerUnit:
+            sums[unit] += utilization[unit]
+    count = len(BENCHMARK_NAMES)
+    return {unit: sums[unit] / count for unit in PowerUnit}
+
+
+def main(argv) -> int:
+    instructions = int(argv[1]) if len(argv) > 1 else 30_000
+    utilization = measure_baseline_utilization(instructions)
+    print("# measured baseline utilisation (paste into repro/power/units.py):")
+    print("_BASELINE_UTILIZATION: Dict[PowerUnit, float] = {")
+    for unit in PowerUnit:
+        print(f"    PowerUnit.{unit.name}: {utilization[unit]:.3f},")
+    print("}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,245 @@
+"""Per-cycle power accounting with Wattch clock-gating styles.
+
+The pipeline fills an activity array (accesses per unit) every cycle and
+calls :meth:`PowerModel.end_cycle`.  Styles:
+
+* ``cc0`` — no gating: every unit burns max power every cycle.
+* ``cc1`` — all-or-nothing: a unit with any access burns max power,
+  an idle unit burns nothing.
+* ``cc2`` — linear with usage, zero when idle.
+* ``cc3`` — linear with usage, **10% of max when idle** (the paper's
+  configuration, its footnote 1).
+
+Attribution: each access also lands on the owning
+:class:`~repro.isa.instruction.DynamicInstruction`'s tally.  When the
+pipeline squashes an instruction it calls :meth:`credit_squashed`, moving
+that tally into the wasted pool; committed instructions' tallies are
+confirmed useful via :meth:`credit_committed`.
+
+Wasted energy follows the paper's Table 1 accounting: a unit's wasted
+share of overall power is its total energy (idle component included)
+scaled by the fraction of its accesses made on behalf of mis-speculated
+instructions — the paper's own rows confirm this convention (e.g. icache:
+10.0% share x 64% wrong-path accesses = 6.4% of overall power).
+Clock-tree energy is apportioned by instruction-cycles of pipeline
+occupancy, squashed vs committed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction
+from repro.power.units import NUM_UNITS, PowerUnit, UnitPowerTable, default_unit_powers
+
+_CLOCK = PowerUnit.CLOCK
+
+
+class ClockGatingStyle(enum.Enum):
+    """Wattch conditional-clocking styles."""
+
+    CC0 = "cc0"
+    CC1 = "cc1"
+    CC2 = "cc2"
+    CC3 = "cc3"
+
+
+class PowerModel:
+    """Accumulates energy per unit, split into useful / wasted / idle."""
+
+    def __init__(
+        self,
+        table: Optional[UnitPowerTable] = None,
+        style: ClockGatingStyle = ClockGatingStyle.CC3,
+        idle_fraction: float = 0.1,
+    ) -> None:
+        if not 0.0 <= idle_fraction <= 1.0:
+            raise ConfigurationError("idle fraction must be in [0, 1]")
+        self.table = table or default_unit_powers()
+        self.style = style
+        self.idle_fraction = idle_fraction
+        self.cycles = 0
+        # Energy ledger per unit (joules).
+        self.unit_energy = [0.0] * NUM_UNITS
+        # Dynamic (access-attributable) energy per unit.
+        self.dynamic_energy = [0.0] * NUM_UNITS
+        # Energy of accesses later found to be wrong-path (dynamic view).
+        self.wasted_energy = [0.0] * NUM_UNITS
+        # Access counts: all observed, and those of squashed instructions.
+        self.unit_accesses = [0] * NUM_UNITS
+        self.squashed_accesses = [0] * NUM_UNITS
+        # Utilisation accumulators (for calibration).
+        self.usage_sum = [0.0] * NUM_UNITS
+        # Clock attribution: instruction-cycles, split at retirement.
+        self.total_instr_cycles = 0
+        self.wasted_instr_cycles = 0
+        self.committed_instr_cycles = 0
+        # Per-access dynamic energy, precomputed per unit.
+        cycle_s = self.table.cycle_seconds
+        active_share = 1.0 - idle_fraction if style is ClockGatingStyle.CC3 else 1.0
+        self._energy_per_access = [
+            self.table.max_watts[unit] * cycle_s * active_share / self.table.ports[unit]
+            for unit in range(NUM_UNITS)
+        ]
+
+    def new_activity(self) -> List[int]:
+        """Return a fresh per-unit activity array for one cycle."""
+        return [0] * NUM_UNITS
+
+    def attach(self, instruction: DynamicInstruction) -> None:
+        """Give an instruction its per-unit access tally."""
+        if instruction.unit_accesses is None:
+            instruction.unit_accesses = [0] * NUM_UNITS
+
+    def end_cycle(self, activity: List[int], occupancy: float) -> None:
+        """Account one cycle of unit activity.
+
+        ``activity`` holds access counts per unit; ``occupancy`` is the
+        pipeline-occupancy fraction in [0, 1] that drives the clock tree.
+        """
+        self.cycles += 1
+        cycle_s = self.table.cycle_seconds
+        idle = self.idle_fraction
+        max_watts = self.table.max_watts
+        ports = self.table.ports
+        style = self.style
+        unit_energy = self.unit_energy
+        dynamic_energy = self.dynamic_energy
+        usage_sum = self.usage_sum
+
+        unit_accesses = self.unit_accesses
+        for unit in range(NUM_UNITS):
+            if unit == _CLOCK:
+                usage = occupancy
+            else:
+                accesses = activity[unit]
+                unit_accesses[unit] += accesses
+                usage = accesses / ports[unit]
+                if usage > 1.0:
+                    usage = 1.0
+            usage_sum[unit] += usage
+
+            if style is ClockGatingStyle.CC0:
+                power = max_watts[unit]
+            elif style is ClockGatingStyle.CC1:
+                power = max_watts[unit] if usage > 0.0 else 0.0
+            elif style is ClockGatingStyle.CC2:
+                power = max_watts[unit] * usage
+            else:  # CC3
+                power = max_watts[unit] * (idle + (1.0 - idle) * usage)
+
+            energy = power * cycle_s
+            unit_energy[unit] += energy
+            if style is ClockGatingStyle.CC3:
+                dynamic_energy[unit] += max_watts[unit] * (1.0 - idle) * usage * cycle_s
+            else:
+                dynamic_energy[unit] += max_watts[unit] * usage * cycle_s
+
+    def note_instr_cycles(self, in_flight: int) -> None:
+        """Record pipeline occupancy for clock-energy attribution."""
+        self.total_instr_cycles += in_flight
+
+    def credit_squashed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
+        """Move a squashed instruction's access energy to the wasted pool."""
+        tally = instruction.unit_accesses
+        if tally is not None:
+            energy_per_access = self._energy_per_access
+            wasted = self.wasted_energy
+            squashed = self.squashed_accesses
+            for unit in range(NUM_UNITS):
+                count = tally[unit]
+                if count:
+                    wasted[unit] += count * energy_per_access[unit]
+                    squashed[unit] += count
+        if instruction.fetch_cycle >= 0:
+            self.wasted_instr_cycles += max(0, now_cycle - instruction.fetch_cycle)
+
+    def credit_committed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
+        """Record a committed instruction's residency (clock attribution)."""
+        if instruction.fetch_cycle >= 0:
+            self.committed_instr_cycles += max(0, now_cycle - instruction.fetch_cycle)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def total_energy(self) -> float:
+        """Total energy in joules over the accounted cycles."""
+        return sum(self.unit_energy)
+
+    def average_power(self) -> float:
+        """Average power in watts (0 before the first cycle)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_energy() / (self.cycles * self.table.cycle_seconds)
+
+    def execution_seconds(self) -> float:
+        """Wall-clock time simulated."""
+        return self.cycles * self.table.cycle_seconds
+
+    def wasted_clock_energy(self) -> float:
+        """Clock energy apportioned to wrong-path instruction-cycles."""
+        retired_cycles = self.wasted_instr_cycles + self.committed_instr_cycles
+        if retired_cycles == 0:
+            return 0.0
+        fraction = self.wasted_instr_cycles / retired_cycles
+        return self.unit_energy[_CLOCK] * fraction
+
+    def wrong_access_fraction(self, unit: PowerUnit) -> float:
+        """Fraction of a unit's accesses made by mis-speculated instructions."""
+        total = self.unit_accesses[unit]
+        if total == 0:
+            return 0.0
+        return min(1.0, self.squashed_accesses[unit] / total)
+
+    def unit_wasted_energy(self, unit: PowerUnit) -> float:
+        """Wasted (wrong-path) energy of one unit in joules.
+
+        Follows the paper's Table 1 convention: the unit's total energy
+        scaled by its wrong-path access fraction (clock: by wrong-path
+        instruction-cycle occupancy).
+        """
+        if unit is _CLOCK:
+            return self.wasted_clock_energy()
+        return self.unit_energy[unit] * self.wrong_access_fraction(unit)
+
+    def unit_wasted_dynamic_energy(self, unit: PowerUnit) -> float:
+        """Wasted energy counting only the dynamic (per-access) component.
+
+        A stricter accounting than the paper's: the idle/static share of a
+        unit is never attributed to the wrong path.
+        """
+        if unit is _CLOCK:
+            retired = self.wasted_instr_cycles + self.committed_instr_cycles
+            if retired == 0:
+                return 0.0
+            return self.dynamic_energy[_CLOCK] * (self.wasted_instr_cycles / retired)
+        return self.wasted_energy[unit]
+
+    def total_wasted_energy(self) -> float:
+        """Total energy attributed to mis-speculated instructions."""
+        return sum(self.unit_wasted_energy(unit) for unit in PowerUnit)
+
+    def breakdown(self) -> dict:
+        """Per-unit share of total energy and wasted share of overall power.
+
+        Mirrors the two columns of the paper's Table 1.
+        """
+        total = self.total_energy()
+        result = {}
+        for unit in PowerUnit:
+            share = self.unit_energy[unit] / total if total else 0.0
+            wasted_overall = self.unit_wasted_energy(unit) / total if total else 0.0
+            result[unit.name.lower()] = {
+                "share": share,
+                "wasted_of_overall": wasted_overall,
+            }
+        return result
+
+    def average_utilization(self) -> dict:
+        """Mean per-unit cc3 usage (feeds calibration)."""
+        if self.cycles == 0:
+            return {unit: 0.0 for unit in PowerUnit}
+        return {unit: self.usage_sum[unit] / self.cycles for unit in PowerUnit}

@@ -1,0 +1,264 @@
+"""Dynamic instruction streams: the true path and wrong paths.
+
+:class:`TruePathOracle` unrolls the architecturally correct execution of a
+program into an indexable stream of :class:`DynamicRecord`.  The pipeline
+front-end consumes this stream while its predictions are correct; a branch
+misprediction makes it diverge onto a *wrong path*, which is served by
+:class:`WrongPathNavigator` — a stateless walker over the same CFG whose
+branch outcomes come from a pure hash, so speculative fetch can never
+corrupt true-path behavioural state (loop counters, RNG streams).
+
+Recovery is cursor-based: every fetched branch remembers the cursor of the
+instruction that *actually* follows it, so a squash simply re-points the
+front-end at that cursor (a true-stream index, or a wrong-path position for
+branches that were themselves speculative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ProgramError, SimulationError
+from repro.program.cfg import Program, TerminatorKind
+from repro.utils.rng import XorShiftRNG, derive_seed, stateless_hash
+
+HISTORY_BITS = 32
+_HISTORY_MASK = (1 << HISTORY_BITS) - 1
+
+
+class DynamicRecord:
+    """One instruction instance on the true path."""
+
+    __slots__ = ("static", "taken", "target_block", "mem_address")
+
+    def __init__(self, static, taken: bool, target_block: int, mem_address: int) -> None:
+        self.static = static
+        self.taken = taken
+        self.target_block = target_block
+        self.mem_address = mem_address
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicRecord({self.static!r}, taken={self.taken}, "
+            f"target={self.target_block})"
+        )
+
+
+class TruePathOracle:
+    """Lazily generated, indexable true-path instruction stream.
+
+    The stream is unbounded (synthetic programs loop forever); records are
+    generated on demand and pruned once the simulator commits past them.
+
+    Branch behaviour state lives inside the Program, and constructing an
+    oracle resets it — so only one live oracle may walk a given Program
+    instance at a time.  Build a fresh Program (generation is deterministic)
+    for each concurrent walker.
+    """
+
+    def __init__(self, program: Program, seed: int) -> None:
+        if not program.finalized:
+            raise ProgramError("program must be finalized before walking")
+        self.program = program
+        program.reset_behaviors()
+        self._records: List[DynamicRecord] = []
+        self._base = 0  # stream index of _records[0]
+        self._block = program.block(program.entry_block)
+        self._index = 0
+        self._stack: List[int] = []
+        self.global_history = 0
+        self._mem_rng = XorShiftRNG(derive_seed(seed, "truepath-mem"))
+        self._visit_counts = {}
+        self._region_seed = derive_seed(seed, "regions")
+
+    def get(self, stream_index: int) -> DynamicRecord:
+        """Return the record at an absolute stream index, generating as needed."""
+        if stream_index < self._base:
+            raise SimulationError(
+                f"true-path record {stream_index} was pruned (base={self._base})"
+            )
+        while stream_index - self._base >= len(self._records):
+            self._generate_one()
+        return self._records[stream_index - self._base]
+
+    def prune_before(self, stream_index: int) -> None:
+        """Drop records older than ``stream_index`` (already committed)."""
+        drop = stream_index - self._base
+        if drop > 0:
+            del self._records[:drop]
+            self._base = stream_index
+
+    def data_address(self, static, visit: int, rng: Optional[XorShiftRNG] = None) -> int:
+        """Compute the dynamic data address of a memory instruction visit.
+
+        The access walks its working set (``mem_footprint``) with the
+        instruction's stride, so cache behaviour follows the footprint:
+        small sets live in L1, the streaming tail reaches L2 and memory.
+        """
+        region_base = 0x1000_0000 + static.mem_region * 0x10_0000
+        footprint_mask = static.mem_footprint - 1
+        if static.mem_stride == 0:
+            offset = (static.address * 16) & footprint_mask
+        else:
+            offset = (static.mem_stride * visit) & footprint_mask
+        return region_base + (offset & ~0x3)
+
+    def _generate_one(self) -> None:
+        """Advance the walker until one record is emitted."""
+        # Skip over empty fall-through blocks defensively (the generator
+        # never emits them, but the walk must not spin if one appears).
+        hops = 0
+        while not self._block.instructions:
+            if self._block.kind is not TerminatorKind.FALL:
+                raise ProgramError(f"empty non-FALL block {self._block.block_id}")
+            self._block = self.program.block(self._block.fall_target)
+            hops += 1
+            if hops > len(self.program.blocks):
+                raise ProgramError("cycle of empty fall-through blocks")
+
+        block = self._block
+        static = block.instructions[self._index]
+        is_terminator = self._index == len(block.instructions) - 1
+
+        taken = False
+        target_block = -1
+        mem_address = 0
+
+        if static.op_class.value in ("mem_read", "mem_write"):
+            visit = self._visit_counts.get(static.address, 0)
+            self._visit_counts[static.address] = visit + 1
+            mem_address = self.data_address(static, visit)
+
+        if is_terminator and block.kind is not TerminatorKind.FALL:
+            taken, target_block = self._resolve_terminator(block)
+        if is_terminator:
+            self._advance_block(block, taken, target_block)
+        else:
+            self._index += 1
+
+        self._records.append(DynamicRecord(static, taken, target_block, mem_address))
+
+    def _resolve_terminator(self, block) -> Tuple[bool, int]:
+        """Decide the outcome and target of a block terminator."""
+        if block.kind is TerminatorKind.COND:
+            outcome = block.behavior.next_outcome(self.global_history)
+            self.global_history = ((self.global_history << 1) | int(outcome)) & _HISTORY_MASK
+            target = block.taken_target if outcome else block.fall_target
+            return outcome, target
+        if block.kind is TerminatorKind.JUMP:
+            return True, block.taken_target
+        if block.kind is TerminatorKind.CALL:
+            self._stack.append(block.fall_target)
+            return True, block.taken_target
+        if block.kind is TerminatorKind.RET:
+            if not self._stack:
+                raise ProgramError(f"return with empty call stack in block {block.block_id}")
+            return True, self._stack.pop()
+        raise ProgramError(f"unexpected terminator kind {block.kind}")
+
+    def _advance_block(self, block, taken: bool, target_block: int) -> None:
+        """Move the walker to the next block after a terminator."""
+        if block.kind is TerminatorKind.FALL:
+            next_block = block.fall_target
+        else:
+            next_block = target_block
+        self._block = self.program.block(next_block)
+        self._index = 0
+
+
+# A wrong-path cursor is (block_id, instr_index, call_stack_tuple, step_count).
+WrongPathCursor = Tuple[int, int, Tuple[int, ...], int]
+
+
+class WrongPathNavigator:
+    """Stateless walker serving speculative fetch down mispredicted paths.
+
+    Branch outcomes are a pure hash of (seed, block, step), so revisiting the
+    same wrong path yields identical streams (determinism) while distinct
+    divergences decorrelate.  Returns with an empty speculative stack jump to
+    a hash-chosen block — mirroring the garbage control flow a real processor
+    chases down the wrong path.
+    """
+
+    def __init__(self, program: Program, seed: int) -> None:
+        self.program = program
+        self._seed = derive_seed(seed, "wrongpath")
+
+    def start_cursor(self, block_id: int, salt: int) -> WrongPathCursor:
+        """Cursor for entering a wrong path at the top of ``block_id``."""
+        return (block_id, 0, (), salt & 0xFFFF)
+
+    def fetch_one(self, cursor: WrongPathCursor):
+        """Return (static, taken, target_block, next_cursor, mem_address).
+
+        ``taken``/``target_block`` describe the *actual* outcome along this
+        wrong path (what the branch will resolve to if it executes before
+        the path is squashed).
+        """
+        block_id, index, stack, step = cursor
+        block = self.program.block(block_id)
+        hops = 0
+        while not block.instructions:
+            block = self.program.block(block.fall_target)
+            block_id, index = block.block_id, 0
+            hops += 1
+            if hops > len(self.program.blocks):
+                raise ProgramError("cycle of empty fall-through blocks")
+        static = block.instructions[index]
+        is_terminator = index == len(block.instructions) - 1
+
+        taken = False
+        target_block = -1
+        mem_address = 0
+        if static.op_class.value in ("mem_read", "mem_write"):
+            mem_address = self._wrong_data_address(static, step)
+
+        if not is_terminator:
+            next_cursor = (block_id, index + 1, stack, step + 1)
+            return static, taken, target_block, next_cursor, mem_address
+
+        taken, target_block, stack = self._resolve_terminator(block, stack, step)
+        if block.kind is TerminatorKind.FALL:
+            next_block = block.fall_target
+        else:
+            next_block = target_block
+        next_cursor = (next_block, 0, stack, step + 1)
+        return static, taken, target_block, next_cursor, mem_address
+
+    def cursor_at(self, block_id: int, stack: Tuple[int, ...], step: int) -> WrongPathCursor:
+        """Cursor at the top of a block with an explicit speculative stack."""
+        return (block_id, 0, stack, step)
+
+    def _resolve_terminator(self, block, stack: Tuple[int, ...], step: int):
+        if block.kind is TerminatorKind.COND:
+            outcome = bool(stateless_hash(self._seed, block.block_id, step) & 1)
+            target = block.taken_target if outcome else block.fall_target
+            return outcome, target, stack
+        if block.kind is TerminatorKind.JUMP:
+            return True, block.taken_target, stack
+        if block.kind is TerminatorKind.CALL:
+            if len(stack) < 64:
+                stack = stack + (block.fall_target,)
+            return True, block.taken_target, stack
+        if block.kind is TerminatorKind.RET:
+            if stack:
+                return True, stack[-1], stack[:-1]
+            wild = stateless_hash(self._seed, block.block_id, step, 7) % len(self.program.blocks)
+            return True, wild, stack
+        if block.kind is TerminatorKind.FALL:
+            return False, block.fall_target, stack
+        raise ProgramError(f"unexpected terminator kind {block.kind}")
+
+    # Wrong-path accesses scatter over the whole 1 MB region, not the
+    # instruction's own working set: down a wrong path the address register
+    # holds stale or garbage values, so speculative loads *pollute* the
+    # caches (the paper's §3) instead of conveniently prefetching the lines
+    # the true path is about to touch.
+    _WRONG_PATH_SPAN = 0x10_0000
+
+    def _wrong_data_address(self, static, step: int) -> int:
+        region_base = 0x1000_0000 + static.mem_region * 0x10_0000
+        offset = stateless_hash(self._seed, static.address, step) & (
+            self._WRONG_PATH_SPAN - 1
+        )
+        return region_base + (offset & ~0x3)

@@ -1,0 +1,13 @@
+"""Reporting: text rendering and machine-readable export of results."""
+
+from repro.report.ascii import bar_chart, figure_bars, sweep_lines
+from repro.report.export import figure_to_csv, figure_to_records, figure_to_json
+
+__all__ = [
+    "bar_chart",
+    "figure_bars",
+    "sweep_lines",
+    "figure_to_csv",
+    "figure_to_records",
+    "figure_to_json",
+]

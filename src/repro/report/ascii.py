@@ -1,0 +1,93 @@
+"""ASCII renderings of the paper's figures.
+
+The paper plots four bar charts per figure (speedup, power, energy, E-D)
+with one bar per benchmark per experiment.  :func:`figure_bars` renders
+the same layout in plain text so a terminal user can see the per-benchmark
+structure (e.g. *go* is the biggest winner) and not only suite averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+FULL_BLOCK = "#"
+NEGATIVE_BLOCK = "-"
+
+_METRIC_TITLES = {
+    "speedup": "Speedup (1.0 = baseline)",
+    "power_savings_pct": "Power savings (%)",
+    "energy_savings_pct": "Energy savings (%)",
+    "ed_improvement_pct": "Energy-Delay improvement (%)",
+}
+
+
+def bar_chart(
+    rows: Mapping[str, float],
+    width: int = 40,
+    zero: float = 0.0,
+    unit: str = "",
+) -> str:
+    """Render ``label -> value`` as a horizontal text bar chart.
+
+    Bars grow rightward from ``zero``; values below it render with a
+    distinct fill so regressions are visible at a glance.
+    """
+    if not rows:
+        return "(no data)"
+    span = max(abs(value - zero) for value in rows.values()) or 1.0
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        magnitude = abs(value - zero) / span
+        bar_len = max(1, round(magnitude * width)) if value != zero else 0
+        fill = FULL_BLOCK if value >= zero else NEGATIVE_BLOCK
+        lines.append(
+            f"{label:>{label_width}s} | {fill * bar_len:<{width}s} {value:8.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def figure_bars(
+    figure,
+    metric: str = "energy_savings_pct",
+    benchmarks: Sequence[str] = (),
+    width: int = 32,
+) -> str:
+    """Per-benchmark bars for one metric of a FigureResult.
+
+    One block per experiment, a bar per benchmark — the text analogue of
+    the paper's grouped bar charts.
+    """
+    if metric not in _METRIC_TITLES:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(_METRIC_TITLES)}"
+        )
+    zero = 1.0 if metric == "speedup" else 0.0
+    sections = [f"{figure.name} — {_METRIC_TITLES[metric]}"]
+    for label, per_benchmark in figure.rows.items():
+        names = list(benchmarks or per_benchmark)
+        rows = {
+            name: getattr(per_benchmark[name], metric)
+            for name in names
+            if name in per_benchmark
+        }
+        sections.append(f"\n[{label}]")
+        sections.append(bar_chart(rows, width=width, zero=zero))
+    return "\n".join(sections)
+
+
+def sweep_lines(
+    sweep: Mapping[int, Dict[str, float]],
+    metrics: Iterable[str] = ("energy_savings_pct", "ed_improvement_pct"),
+    width: int = 40,
+    x_label: str = "x",
+) -> str:
+    """Render a parameter sweep (figure6/figure7 output) as bar rows."""
+    sections = []
+    for metric in metrics:
+        title = _METRIC_TITLES.get(metric, metric)
+        rows = {f"{x_label}={point}": values[metric] for point, values in sweep.items()}
+        sections.append(title)
+        sections.append(bar_chart(rows, width=width))
+        sections.append("")
+    return "\n".join(sections).rstrip()

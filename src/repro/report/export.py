@@ -1,0 +1,62 @@
+"""Machine-readable export of figure results (CSV / JSON records).
+
+Downstream analysis (plotting with matplotlib, spreadsheet comparison
+against the paper's numbers) wants flat records rather than the nested
+FigureResult structure.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+_FIELDS = (
+    "figure",
+    "experiment",
+    "benchmark",
+    "speedup",
+    "power_savings_pct",
+    "energy_savings_pct",
+    "ed_improvement_pct",
+)
+
+
+def figure_to_records(figure) -> List[Dict]:
+    """Flatten a FigureResult into one record per (experiment, benchmark)."""
+    records = []
+    for label, per_benchmark in figure.rows.items():
+        for benchmark, comparison in per_benchmark.items():
+            records.append(
+                {
+                    "figure": figure.name,
+                    "experiment": label,
+                    "benchmark": benchmark,
+                    "speedup": comparison.speedup,
+                    "power_savings_pct": comparison.power_savings_pct,
+                    "energy_savings_pct": comparison.energy_savings_pct,
+                    "ed_improvement_pct": comparison.ed_improvement_pct,
+                }
+            )
+    return records
+
+
+def figure_to_csv(figure) -> str:
+    """Serialise a FigureResult to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for record in figure_to_records(figure):
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def figure_to_json(figure, indent: int = 2) -> str:
+    """Serialise a FigureResult (records plus suite averages) to JSON."""
+    payload = {
+        "figure": figure.name,
+        "records": figure_to_records(figure),
+        "averages": figure.averages(),
+    }
+    return json.dumps(payload, indent=indent)

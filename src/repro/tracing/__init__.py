@@ -1,0 +1,11 @@
+"""Pipeline tracing: per-instruction event capture and text pipetraces."""
+
+from repro.tracing.tracer import InstructionTrace, PipelineTracer
+from repro.tracing.render import render_pipetrace, stage_occupancy_histogram
+
+__all__ = [
+    "PipelineTracer",
+    "InstructionTrace",
+    "render_pipetrace",
+    "stage_occupancy_histogram",
+]

@@ -1,0 +1,139 @@
+"""Per-instruction pipeline event capture.
+
+Attach a :class:`PipelineTracer` as a processor's observer and every
+retired instruction (committed or squashed) deposits an immutable
+:class:`InstructionTrace` with all its stage timestamps — the raw material
+for pipetrace diagrams, latency histograms and wrong-path forensics::
+
+    tracer = PipelineTracer(capacity=2000)
+    processor.observer = tracer
+    processor.run(...)
+    print(render_pipetrace(tracer.committed()[:40]))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction
+
+
+class InstructionTrace:
+    """Stage timestamps of one retired instruction (cycles, -1 = never)."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "opcode",
+        "on_wrong_path",
+        "squashed",
+        "mispredicted",
+        "confidence",
+        "fetch_cycle",
+        "decode_cycle",
+        "rename_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "retire_cycle",
+    )
+
+    def __init__(self, instruction: DynamicInstruction, retire_cycle: int) -> None:
+        self.seq = instruction.seq
+        self.pc = instruction.pc
+        self.opcode = instruction.opcode
+        self.on_wrong_path = instruction.on_wrong_path
+        self.squashed = instruction.squashed
+        self.mispredicted = instruction.mispredicted
+        self.confidence = instruction.confidence
+        self.fetch_cycle = instruction.fetch_cycle
+        self.decode_cycle = instruction.decode_cycle
+        self.rename_cycle = instruction.rename_cycle
+        self.issue_cycle = instruction.issue_cycle
+        self.complete_cycle = instruction.complete_cycle
+        self.retire_cycle = retire_cycle
+
+    @property
+    def lifetime(self) -> int:
+        """Cycles from fetch to retirement (commit or squash)."""
+        if self.fetch_cycle < 0:
+            return 0
+        return max(0, self.retire_cycle - self.fetch_cycle)
+
+    @property
+    def issue_wait(self) -> Optional[int]:
+        """Cycles spent ready-or-waiting between rename and issue."""
+        if self.rename_cycle < 0 or self.issue_cycle < 0:
+            return None
+        return self.issue_cycle - self.rename_cycle
+
+    def stage_events(self) -> List[tuple]:
+        """(cycle, stage letter) pairs for the stages this µop reached."""
+        events = []
+        for cycle, letter in (
+            (self.fetch_cycle, "F"),
+            (self.decode_cycle, "D"),
+            (self.rename_cycle, "R"),
+            (self.issue_cycle, "I"),
+            (self.complete_cycle, "C"),
+        ):
+            if cycle >= 0:
+                events.append((cycle, letter))
+        events.append((self.retire_cycle, "x" if self.squashed else "T"))
+        return events
+
+    def __repr__(self) -> str:
+        kind = "squashed" if self.squashed else "committed"
+        return f"InstructionTrace(seq={self.seq}, {self.opcode.value}, {kind})"
+
+
+class PipelineTracer:
+    """Bounded recorder of retired-instruction traces.
+
+    ``capacity`` bounds memory: the window keeps the *most recent* traces
+    (a deque), which is what post-mortem inspection wants.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ConfigurationError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._traces: Deque[InstructionTrace] = deque(maxlen=capacity)
+        self.committed_count = 0
+        self.squashed_count = 0
+
+    # Observer interface ------------------------------------------------
+
+    def on_commit(self, instruction: DynamicInstruction, cycle: int) -> None:
+        self.committed_count += 1
+        self._traces.append(InstructionTrace(instruction, cycle))
+
+    def on_squash(self, instruction: DynamicInstruction, cycle: int) -> None:
+        self.squashed_count += 1
+        self._traces.append(InstructionTrace(instruction, cycle))
+
+    # Queries -------------------------------------------------------------
+
+    def traces(self) -> List[InstructionTrace]:
+        """All recorded traces, oldest first."""
+        return list(self._traces)
+
+    def committed(self) -> List[InstructionTrace]:
+        return [t for t in self._traces if not t.squashed]
+
+    def squashed(self) -> List[InstructionTrace]:
+        return [t for t in self._traces if t.squashed]
+
+    def mispredicted_branches(self) -> List[InstructionTrace]:
+        """Committed mispredicted conditional branches (squash roots)."""
+        return [
+            t
+            for t in self._traces
+            if t.mispredicted and not t.squashed and not t.on_wrong_path
+        ]
+
+    def clear(self) -> None:
+        self._traces.clear()
+        self.committed_count = 0
+        self.squashed_count = 0

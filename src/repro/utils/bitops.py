@@ -1,0 +1,47 @@
+"""Bit-manipulation helpers shared by predictors, caches and tables."""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two, raising ValueError otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def bit_mask(bits: int) -> int:
+    """Return a mask with the low ``bits`` bits set."""
+    if bits < 0:
+        raise ValueError("bit count must be non-negative")
+    return (1 << bits) - 1
+
+
+def fold_xor(value: int, bits: int) -> int:
+    """Fold an arbitrarily wide value into ``bits`` bits by XOR-ing chunks.
+
+    This is the standard way hardware tables hash wide addresses into short
+    indices without discarding high-order information.
+    """
+    if bits <= 0:
+        raise ValueError("bit count must be positive")
+    mask = bit_mask(bits)
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+def hash64(value: int) -> int:
+    """Cheap 64-bit integer mix (Stafford variant 13)."""
+    mask = (1 << 64) - 1
+    value &= mask
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+    return value ^ (value >> 31)

@@ -1,0 +1,127 @@
+"""Deterministic pseudo-random number generation.
+
+Every stochastic decision in the simulator flows from a named
+:class:`XorShiftRNG` stream so runs are bit-identical across processes and
+platforms.  We deliberately avoid :mod:`random` for simulator state: its
+global singleton invites cross-contamination between components, and its
+Mersenne Twister state is needlessly heavy to snapshot.
+
+The generator is the classic 64-bit xorshift* of Vigna (2016): tiny state,
+good statistical quality for simulation purposes, and trivially portable.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 step; used to spread user seeds over 64 bits."""
+    value = (value + _SPLITMIX_GAMMA) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``base_seed`` and a sequence of labels.
+
+    Components each get their own stream: for example the program generator
+    uses ``derive_seed(seed, "program")`` while wrong-path branch outcomes use
+    ``derive_seed(seed, "wrongpath")``.  String labels are hashed bytewise so
+    the derivation does not depend on Python's randomized ``hash()``.
+    """
+    state = _splitmix64(base_seed & _MASK64)
+    for label in labels:
+        if isinstance(label, int):
+            material = label & _MASK64
+        else:
+            material = 0
+            for byte in str(label).encode("utf-8"):
+                material = (material * 131 + byte) & _MASK64
+        state = _splitmix64(state ^ material)
+    # A zero state would trap xorshift at zero forever.
+    return state or _SPLITMIX_GAMMA
+
+
+class XorShiftRNG:
+    """A tiny deterministic RNG (xorshift64*) with simulation helpers."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = derive_seed(seed)
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit value."""
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        return (state * 0x2545F4914F6CDD1D) & _MASK64
+
+    def random(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniformly distributed in [low, high] inclusive."""
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, items):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        return self.random() < probability
+
+    def weighted_choice(self, items, weights):
+        """Return an element of ``items`` chosen with the given weights."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ValueError("weights must sum to a positive value")
+        target = self.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if target < cumulative:
+                return item
+        return items[-1]
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle a list in place (Fisher-Yates)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def getstate(self) -> int:
+        """Return the internal state (for checkpointing)."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        if not 0 < state <= _MASK64:
+            raise ValueError("invalid xorshift state")
+        self._state = state
+
+
+def stateless_hash(seed: int, *values: int) -> int:
+    """A pure function of its arguments, usable as a stateless random source.
+
+    Wrong-path branch outcomes use this so speculative fetch never perturbs
+    true-path behavioural state.
+    """
+    state = seed & _MASK64
+    for value in values:
+        state = _splitmix64(state ^ (value & _MASK64))
+    return state

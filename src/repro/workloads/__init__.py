@@ -1,0 +1,27 @@
+"""The eight-benchmark workload suite (paper Table 2).
+
+Each benchmark is a synthetic control-flow-graph program whose branch
+population is calibrated so an 8 KB gshare sees approximately the
+misprediction rate the paper reports for it; see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    benchmark_program,
+    benchmark_spec,
+    load_suite,
+)
+from repro.workloads.trace import TraceReader, TraceRecorder, TraceRecord
+
+__all__ = [
+    "WorkloadSpec",
+    "BENCHMARK_NAMES",
+    "benchmark_spec",
+    "benchmark_program",
+    "load_suite",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReader",
+]

@@ -1,0 +1,44 @@
+"""Workload specification: a named, calibrated synthetic benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.program.cfg import Program
+from repro.program.generator import ProgramGenerator, ProgramShape
+
+
+@dataclass
+class WorkloadSpec:
+    """A benchmark of the suite: generator shape plus reference data.
+
+    ``target_miss_rate`` and ``branch_density`` carry the paper's Table 2
+    values (gshare 8 KB miss rate; dynamic conditional branches per
+    instruction) that the shape was calibrated against.  ``suite`` and
+    ``input_set`` are documentation of what the paper ran.
+    """
+
+    name: str
+    shape: ProgramShape
+    target_miss_rate: float
+    branch_density: float
+    suite: str = "spec"
+    input_set: str = ""
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload needs a name")
+        if not 0.0 < self.target_miss_rate < 1.0:
+            raise WorkloadError(
+                f"{self.name}: target miss rate must be in (0, 1)"
+            )
+        if not 0.0 < self.branch_density < 1.0:
+            raise WorkloadError(
+                f"{self.name}: branch density must be in (0, 1)"
+            )
+
+    def build_program(self) -> Program:
+        """Generate this benchmark's program (deterministic per spec)."""
+        return ProgramGenerator(self.shape, self.seed, name=self.name).generate()

@@ -1,0 +1,96 @@
+"""Recording and replaying dynamic true-path traces.
+
+Useful for debugging workloads and for fast functional studies: a recorded
+trace replays without regenerating behaviour state.  The format is a plain
+text file, one record per line::
+
+    <address-hex> <opcode> <taken:0|1> <target-block> <mem-address-hex>
+
+Only the fields a predictor study needs are kept; pipeline simulations
+always use the live :class:`~repro.program.walker.TruePathOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import WorkloadError
+from repro.program.walker import TruePathOracle
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dynamic instruction of a recorded trace."""
+
+    address: int
+    opcode: str
+    taken: bool
+    target_block: int
+    mem_address: int
+
+    @property
+    def is_cond_branch(self) -> bool:
+        """True for conditional branch records."""
+        return self.opcode == "br_cond"
+
+
+class TraceRecorder:
+    """Record the first N true-path instructions of a workload."""
+
+    def __init__(self, oracle: TruePathOracle) -> None:
+        self._oracle = oracle
+
+    def record(self, instructions: int) -> List[TraceRecord]:
+        """Materialise ``instructions`` records in memory."""
+        records = []
+        for index in range(instructions):
+            dynamic = self._oracle.get(index)
+            static = dynamic.static
+            records.append(
+                TraceRecord(
+                    address=static.address,
+                    opcode=static.opcode.value,
+                    taken=dynamic.taken,
+                    target_block=dynamic.target_block,
+                    mem_address=dynamic.mem_address,
+                )
+            )
+        return records
+
+    def record_to_file(self, path: str, instructions: int) -> None:
+        """Record straight to a trace file (constant memory)."""
+        with open(path, "w", encoding="ascii") as handle:
+            for index in range(instructions):
+                dynamic = self._oracle.get(index)
+                static = dynamic.static
+                handle.write(
+                    f"{static.address:x} {static.opcode.value} "
+                    f"{int(dynamic.taken)} {dynamic.target_block} "
+                    f"{dynamic.mem_address:x}\n"
+                )
+                if index % 8192 == 0:
+                    self._oracle.prune_before(max(0, index - 64))
+
+
+class TraceReader:
+    """Iterate the records of a trace file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        with open(self.path, "r", encoding="ascii") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                fields = line.split()
+                if len(fields) != 5:
+                    raise WorkloadError(
+                        f"{self.path}:{line_number}: malformed trace record"
+                    )
+                yield TraceRecord(
+                    address=int(fields[0], 16),
+                    opcode=fields[1],
+                    taken=fields[2] == "1",
+                    target_block=int(fields[3]),
+                    mem_address=int(fields[4], 16),
+                )

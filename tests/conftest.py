@@ -1,0 +1,45 @@
+"""Shared fixtures: small programs and processors that run fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import ProcessorConfig, table3_config
+from repro.pipeline.processor import Processor
+from repro.program.generator import ProgramGenerator, ProgramShape
+
+
+def small_shape() -> ProgramShape:
+    """A compact program shape for fast unit tests."""
+    return ProgramShape(
+        num_functions=4,
+        blocks_per_function=(6, 10),
+        block_size=(3, 6),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_program():
+    """One finalized small program shared by the whole session."""
+    return ProgramGenerator(small_shape(), seed=42, name="testprog").generate()
+
+
+@pytest.fixture()
+def fresh_program():
+    """A per-test program (for tests that mutate behaviour state)."""
+    return ProgramGenerator(small_shape(), seed=42, name="testprog").generate()
+
+
+@pytest.fixture()
+def config() -> ProcessorConfig:
+    """The Table-3 baseline configuration."""
+    return table3_config()
+
+
+def run_small(program, controller=None, instructions=3000, config=None, seed=42):
+    """Build a processor on ``program`` and run a short simulation."""
+    processor = Processor(
+        config or table3_config(), program, controller=controller, seed=seed
+    )
+    processor.run(instructions)
+    return processor

@@ -1,0 +1,81 @@
+"""Ablation drivers (run at very small scale for speed)."""
+
+import pytest
+
+from repro.core.throttler import SelectiveThrottler
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    clock_gating_styles,
+    escalation_rule,
+    estimator_swap,
+    gating_threshold_sweep,
+    mshr_sensitivity,
+)
+from repro.experiments.runner import ExperimentRunner, make_controller
+
+BENCHMARKS = ("go",)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(instructions=2_500, warmup=800)
+
+
+def test_estimator_swap_produces_three_variants(runner):
+    figure = estimator_swap(runner, benchmarks=BENCHMARKS)
+    assert set(figure.rows) == {"C2/bpru", "C2/jrs", "C2/perfect"}
+    averages = figure.averages()
+    # The oracle estimator bounds the realistic ones on energy-delay.
+    assert (
+        averages["C2/perfect"]["ed_improvement_pct"]
+        >= averages["C2/bpru"]["ed_improvement_pct"] - 1e-9
+    )
+
+
+def test_escalation_rule_runs_both_modes(runner):
+    figure = escalation_rule(runner, benchmarks=BENCHMARKS)
+    assert set(figure.rows) == {"C2/escalate", "C2/latest-wins"}
+
+
+def test_gating_threshold_monotone_speedup(runner):
+    figure = gating_threshold_sweep(runner, thresholds=(1, 3), benchmarks=BENCHMARKS)
+    averages = figure.averages()
+    assert (
+        averages["gating-th3"]["speedup"] >= averages["gating-th1"]["speedup"] - 0.01
+    )
+
+
+def test_clock_gating_style_ordering():
+    styles = clock_gating_styles(2_500, 800, benchmarks=BENCHMARKS)
+    assert set(styles) == {"cc0", "cc1", "cc2", "cc3"}
+    assert styles["cc0"]["average_power_watts"] > styles["cc2"]["average_power_watts"]
+    assert styles["cc3"]["average_power_watts"] >= styles["cc2"]["average_power_watts"]
+
+
+def test_mshr_sensitivity_returns_requested_points():
+    sweep = mshr_sensitivity((2, 8), 2_500, 800, benchmarks=BENCHMARKS)
+    assert set(sweep) == {2, 8}
+    for row in sweep.values():
+        assert row["baseline_ipc"] > 0
+
+
+def test_make_controller_estimator_override_spec():
+    controller = make_controller(("throttle", "C2", "jrs"))
+    assert isinstance(controller, SelectiveThrottler)
+    assert controller.escalate_only
+
+
+def test_make_controller_noescalate_spec():
+    controller = make_controller(("throttle-noescalate", "C2"))
+    assert isinstance(controller, SelectiveThrottler)
+    assert not controller.escalate_only
+
+
+def test_make_controller_rejects_gating_name_as_throttle():
+    with pytest.raises(ExperimentError):
+        make_controller(("throttle", "A7"))
+
+
+def test_runner_estimator_override_changes_config(runner):
+    result = runner.run(BENCHMARKS[0], ("throttle", "C2", "jrs"))
+    assert result.label == "C2/jrs"

@@ -1,0 +1,115 @@
+"""Perceptron predictor (Jiménez & Lin 2001)."""
+
+import pytest
+
+from repro.bpred.perceptron import PerceptronPredictor
+from repro.errors import ConfigurationError
+
+
+def _train_pattern(predictor, pc, outcomes, rounds=50):
+    for _ in range(rounds):
+        for taken in outcomes:
+            prediction = predictor.predict(pc)
+            if prediction.taken != taken:
+                predictor.restore(prediction.snapshot, taken)
+            predictor.train(pc, taken, prediction.snapshot)
+
+
+def test_learns_an_always_taken_branch():
+    predictor = PerceptronPredictor(8)
+    _train_pattern(predictor, 0x1000, [True])
+    assert predictor.predict(0x1000).taken
+
+
+def test_learns_an_always_not_taken_branch():
+    predictor = PerceptronPredictor(8)
+    _train_pattern(predictor, 0x1000, [False])
+    assert not predictor.predict(0x1000).taken
+
+
+def test_learns_an_alternating_pattern():
+    """T/NT alternation is linearly separable on one history bit."""
+    predictor = PerceptronPredictor(8, history_bits=8)
+    pc = 0x2000
+    _train_pattern(predictor, pc, [True, False], rounds=200)
+    hits = 0
+    expected = True
+    for _ in range(40):
+        prediction = predictor.predict(pc)
+        hits += prediction.taken == expected
+        predictor.train(pc, expected, prediction.snapshot)
+        expected = not expected
+    assert hits >= 36
+
+
+def test_weights_stay_clipped():
+    predictor = PerceptronPredictor(1, history_bits=4)
+    _train_pattern(predictor, 0x3000, [True], rounds=2000)
+    for row in predictor.table:
+        for weight in row:
+            assert -predictor.weight_max - 1 <= weight <= predictor.weight_max
+
+
+def test_history_restore_after_misprediction():
+    predictor = PerceptronPredictor(8, history_bits=8)
+    predictor.history = 0b1010
+    prediction = predictor.predict(0x4000)
+    # Speculative shift happened; repair with the opposite outcome.
+    predictor.restore(prediction.snapshot, not prediction.taken)
+    assert predictor.history & 1 == int(not prediction.taken)
+    assert predictor.history >> 1 == 0b1010
+
+
+def test_snapshot_carries_output_for_confidence():
+    predictor = PerceptronPredictor(8)
+    prediction = predictor.predict(0x5000)
+    history, output = prediction.snapshot
+    assert isinstance(output, int)
+    assert predictor.output_magnitude(prediction.snapshot) == abs(output)
+
+
+def test_counter_strength_weak_near_zero_output():
+    predictor = PerceptronPredictor(8)
+    # Untrained: output 0 -> weak taken.
+    prediction = predictor.predict(0x6000)
+    assert predictor.counter_strength(0x6000, prediction.snapshot) in (1, 2)
+    _train_pattern(predictor, 0x6000, [True], rounds=200)
+    prediction = predictor.predict(0x6000)
+    assert predictor.counter_strength(0x6000, prediction.snapshot) == 3
+
+
+def test_theta_follows_published_heuristic():
+    predictor = PerceptronPredictor(8, history_bits=24)
+    assert predictor.theta == int(1.93 * 24 + 14)
+
+
+def test_storage_accounting():
+    predictor = PerceptronPredictor(8, history_bits=24)
+    assert predictor.storage_bits() == predictor.rows * 25 * 8
+    assert predictor.storage_bits() <= 8 * 1024 * 8
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        PerceptronPredictor(0)
+    with pytest.raises(ConfigurationError):
+        PerceptronPredictor(8, history_bits=0)
+
+
+def test_distinct_branches_learn_opposite_biases():
+    """Two interleaved branches with opposite behaviours are separable
+    because they hash to distinct weight rows."""
+    predictor = PerceptronPredictor(8)
+    for _ in range(300):
+        for pc, taken in ((0x7000, True), (0x7004, False)):
+            prediction = predictor.predict(pc)
+            if prediction.taken != taken:
+                predictor.restore(prediction.snapshot, taken)
+            predictor.train(pc, taken, prediction.snapshot)
+    hits = 0
+    for _ in range(20):
+        for pc, taken in ((0x7000, True), (0x7004, False)):
+            prediction = predictor.predict(pc)
+            hits += prediction.taken == taken
+            predictor.train(pc, taken, prediction.snapshot)
+    assert hits >= 36  # >= 90% on a trivially separable pair

@@ -1,0 +1,102 @@
+"""Multi-seed campaigns: statistics, execution and persistence."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.campaign import (
+    CampaignResult,
+    MetricSummary,
+    format_campaign,
+    run_campaign,
+    summarize,
+)
+
+
+def test_summarize_single_sample_has_zero_width():
+    summary = summarize([5.0])
+    assert summary.mean == 5.0
+    assert summary.half_width == 0.0
+    assert summary.samples == 1
+
+
+def test_summarize_constant_sample():
+    summary = summarize([2.0, 2.0, 2.0])
+    assert summary.mean == 2.0
+    assert summary.stddev == 0.0
+    assert summary.half_width == 0.0
+
+
+def test_summarize_known_interval():
+    # n=4, mean 5, sample sd 2 -> half width = t(3) * 2 / 2 = 3.182
+    summary = summarize([3.0, 7.0, 3.0, 7.0])
+    assert summary.mean == pytest.approx(5.0)
+    sd = math.sqrt(16 / 3)
+    assert summary.stddev == pytest.approx(sd)
+    assert summary.half_width == pytest.approx(3.182 * sd / 2)
+    assert summary.low == pytest.approx(summary.mean - summary.half_width)
+    assert summary.high == pytest.approx(summary.mean + summary.half_width)
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ExperimentError):
+        summarize([])
+
+
+def test_describe_mentions_sample_count():
+    assert "n=3" in summarize([1.0, 2.0, 3.0]).describe()
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return run_campaign(
+        {"A5": ("throttle", "A5")},
+        benchmarks=("gzip",),
+        seeds=2,
+        instructions=2_000,
+        name="unit",
+    )
+
+
+def test_campaign_collects_one_sample_per_seed(small_campaign):
+    cell = small_campaign.samples["A5"]["gzip"]
+    for metric, values in cell.items():
+        assert len(values) == 2, metric
+
+
+def test_campaign_seed_variants_differ(small_campaign):
+    values = small_campaign.samples["A5"]["gzip"]["energy_savings_pct"]
+    # Different program seeds => different sampled programs => different
+    # measurements (astronomically unlikely to collide exactly).
+    assert values[0] != values[1]
+
+
+def test_campaign_suite_summary(small_campaign):
+    summary = small_campaign.suite_summary("A5", "speedup")
+    assert isinstance(summary, MetricSummary)
+    assert summary.samples == 2
+    assert 0.3 < summary.mean < 1.2
+
+
+def test_campaign_json_round_trip(small_campaign, tmp_path):
+    path = tmp_path / "campaign.json"
+    small_campaign.save(str(path))
+    loaded = CampaignResult.load(str(path))
+    assert loaded.name == small_campaign.name
+    assert loaded.seeds == small_campaign.seeds
+    assert (
+        loaded.samples["A5"]["gzip"]["speedup"]
+        == small_campaign.samples["A5"]["gzip"]["speedup"]
+    )
+
+
+def test_format_campaign_renders_labels(small_campaign):
+    text = format_campaign(small_campaign)
+    assert "A5" in text
+    assert "±" in text
+
+
+def test_campaign_requires_a_seed():
+    with pytest.raises(ExperimentError):
+        run_campaign({"A5": ("throttle", "A5")}, seeds=0)

@@ -1,0 +1,68 @@
+"""Command-line interface (fast paths only; figures run at tiny scale)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "compress" in out
+
+
+def test_table3_command(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "8 instr/cycle" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "go", "C2", "--instructions", "2000", "--warmup", "500"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "energy savings" in out
+
+
+def test_run_command_with_estimator_override(capsys):
+    code = main(
+        ["run", "go", "A5", "jrs", "--instructions", "2000", "--warmup", "500"]
+    )
+    assert code == 0
+    assert "A5/jrs" in capsys.readouterr().out
+
+
+def test_run_command_requires_two_args():
+    with pytest.raises(SystemExit):
+        main(["run", "go"])
+
+
+def test_unknown_benchmark_subset_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure1", "--benchmarks", "nonexistent"])
+
+
+def test_figure1_with_export(tmp_path, capsys):
+    csv_path = tmp_path / "fig1.csv"
+    json_path = tmp_path / "fig1.json"
+    code = main(
+        [
+            "figure1",
+            "--instructions", "1500",
+            "--warmup", "500",
+            "--benchmarks", "go",
+            "--bars", "energy",
+            "--csv", str(csv_path),
+            "--json", str(json_path),
+        ]
+    )
+    assert code == 0
+    assert "oracle-fetch" in capsys.readouterr().out
+    assert csv_path.read_text().startswith("figure,experiment,benchmark")
+    payload = json.loads(json_path.read_text())
+    assert payload["figure"] == "figure1"
+    assert any(r["benchmark"] == "go" for r in payload["records"])

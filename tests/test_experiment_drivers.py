@@ -1,0 +1,87 @@
+"""Experiment-driver layer: runner memoisation and figure aggregation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureResult, figure1, format_figure
+from repro.experiments.results import ComparisonResult, compare
+from repro.experiments.runner import ExperimentRunner, run_benchmark
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(instructions=1_500, warmup=400)
+
+
+def test_baseline_is_memoised(runner):
+    first = runner.baseline("gzip")
+    second = runner.baseline("gzip")
+    assert first is second
+
+
+def test_different_specs_are_distinct_cache_entries(runner):
+    baseline = runner.run("gzip", ("baseline",))
+    throttled = runner.run("gzip", ("throttle", "A1"))
+    assert baseline is not throttled
+    assert throttled.label == "A1"
+
+
+def test_label_override_does_not_corrupt_cache(runner):
+    original = runner.run("gzip", ("throttle", "A1"))
+    relabeled = runner.run("gzip", ("throttle", "A1"), label="renamed")
+    assert relabeled.label == "renamed"
+    again = runner.run("gzip", ("throttle", "A1"))
+    assert again.label == "A1"
+    assert again.cycles == original.cycles
+
+
+def test_estimator_override_is_part_of_the_key(runner):
+    bpru = runner.run("gzip", ("throttle", "A1"))
+    jrs = runner.run("gzip", ("throttle", "A1", "jrs"))
+    assert bpru.cycles != jrs.cycles or bpru.energy_joules != jrs.energy_joules
+
+
+def test_compare_rejects_cross_benchmark(runner):
+    a = runner.baseline("gzip")
+    b = run_benchmark("go", ("baseline",), instructions=1_500, warmup=400)
+    with pytest.raises(ExperimentError):
+        compare(a, b)
+
+
+def test_compare_identity_is_neutral(runner):
+    baseline = runner.baseline("gzip")
+    comparison = compare(baseline, baseline)
+    assert comparison.speedup == pytest.approx(1.0)
+    assert comparison.energy_savings_pct == pytest.approx(0.0)
+    assert comparison.ed_improvement_pct == pytest.approx(0.0)
+
+
+def test_figure_average_mixes_geometric_speedup():
+    figure = FigureResult("demo")
+    figure.rows["X"] = {
+        "a": ComparisonResult("a", "X", 0.5, 0, 0, 0),
+        "b": ComparisonResult("b", "X", 2.0, 0, 0, 0),
+    }
+    # Geometric mean of 0.5 and 2.0 is exactly 1.0.
+    assert figure.average("X")["speedup"] == pytest.approx(1.0)
+
+
+def test_figure_subset_run_contains_only_requested(runner):
+    figure = figure1(runner, benchmarks=["gzip"])
+    for per_benchmark in figure.rows.values():
+        assert list(per_benchmark) == ["gzip"]
+
+
+def test_format_figure_has_a_row_per_experiment():
+    figure = FigureResult("demo")
+    figure.rows["X"] = {"a": ComparisonResult("a", "X", 1.0, 1.0, 1.0, 1.0)}
+    figure.rows["Y"] = {"a": ComparisonResult("a", "Y", 1.0, 2.0, 2.0, 2.0)}
+    text = format_figure(figure)
+    assert len(text.splitlines()) == 4  # title + header + 2 rows
+
+
+def test_oracle_runs_use_perfect_confidence(runner):
+    result = runner.run("gzip", ("oracle", "fetch"))
+    # Perfect labels: every misprediction is VLC, every correct VHC.
+    assert result.spec_metric == pytest.approx(1.0)
+    assert result.pvn_metric == pytest.approx(1.0)

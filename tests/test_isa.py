@@ -1,0 +1,81 @@
+"""Tests for the synthetic ISA layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction, StaticInstruction
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    MEMORY_OPCODES,
+    Opcode,
+    OpClass,
+    opcode_class,
+    opcode_latency,
+)
+from repro.isa.registers import NUM_ARCH_REGS, REG_SP, REG_ZERO, valid_register
+
+
+def test_every_opcode_has_class_and_latency():
+    for opcode in Opcode:
+        assert isinstance(opcode_class(opcode), OpClass)
+        assert opcode_latency(opcode) >= 1
+
+
+def test_branch_opcode_set():
+    assert Opcode.BR_COND in BRANCH_OPCODES
+    assert Opcode.CALL in BRANCH_OPCODES
+    assert Opcode.LOAD not in BRANCH_OPCODES
+
+
+def test_memory_opcode_set():
+    assert MEMORY_OPCODES == {Opcode.LOAD, Opcode.STORE}
+
+
+def test_mult_slower_than_alu():
+    assert opcode_latency(Opcode.MUL) > opcode_latency(Opcode.ADD)
+    assert opcode_latency(Opcode.DIV) > opcode_latency(Opcode.MUL)
+
+
+def test_static_instruction_branch_flags():
+    branch = StaticInstruction(0x1000, Opcode.BR_COND, sources=(3,))
+    assert branch.is_branch and branch.is_cond_branch
+    jump = StaticInstruction(0x1004, Opcode.BR_UNCOND)
+    assert jump.is_branch and not jump.is_cond_branch
+    add = StaticInstruction(0x1008, Opcode.ADD, dest=5, sources=(1, 2))
+    assert not add.is_branch
+
+
+def test_dynamic_instruction_defaults():
+    static = StaticInstruction(0x2000, Opcode.LOAD, dest=7, sources=(2,))
+    dyn = DynamicInstruction(42, static)
+    assert dyn.seq == 42
+    assert dyn.pc == 0x2000
+    assert dyn.is_load and not dyn.is_store
+    assert not dyn.issued and not dyn.completed and not dyn.squashed
+    assert dyn.fetch_cycle == -1
+    assert dyn.phys_dest == -1
+
+
+def test_dynamic_instruction_properties_delegate():
+    static = StaticInstruction(0x2000, Opcode.STORE, sources=(2, 3))
+    dyn = DynamicInstruction(1, static)
+    assert dyn.opcode is Opcode.STORE
+    assert dyn.op_class is OpClass.MEM_WRITE
+    assert dyn.is_store
+
+
+def test_dynamic_repr_mentions_squash_state():
+    static = StaticInstruction(0x2000, Opcode.ADD, dest=4)
+    dyn = DynamicInstruction(1, static)
+    dyn.on_wrong_path = True
+    dyn.squashed = True
+    text = repr(dyn)
+    assert "wrong-path" in text and "squashed" in text
+
+
+def test_register_conventions():
+    assert valid_register(REG_ZERO)
+    assert valid_register(REG_SP)
+    assert valid_register(NUM_ARCH_REGS - 1)
+    assert not valid_register(NUM_ARCH_REGS)
+    assert not valid_register(-1)

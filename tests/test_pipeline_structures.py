@@ -1,0 +1,249 @@
+"""Tests for ROB, LSQ, issue queue, renamer and FU pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.instruction import DynamicInstruction, StaticInstruction
+from repro.isa.opcodes import Opcode, OpClass
+from repro.pipeline.config import table3_config
+from repro.pipeline.iq import IssueQueue
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.renamer import ARCH_READY_TAG, RegisterRenamer
+from repro.pipeline.resources import FunctionalUnitPool
+from repro.pipeline.rob import ReorderBuffer
+
+
+def _instr(seq, opcode=Opcode.ADD, dest=3, sources=(1, 2)):
+    return DynamicInstruction(seq, StaticInstruction(seq * 4, opcode, dest=dest, sources=sources))
+
+
+# --- ROB ---------------------------------------------------------------
+
+def test_rob_fifo_order():
+    rob = ReorderBuffer(4)
+    a, b = _instr(1), _instr(2)
+    rob.push(a)
+    rob.push(b)
+    assert rob.head() is a
+    assert rob.pop_head() is a
+    assert rob.pop_head() is b
+
+
+def test_rob_full_and_occupancy():
+    rob = ReorderBuffer(2)
+    rob.push(_instr(1))
+    assert rob.occupancy == 0.5
+    rob.push(_instr(2))
+    assert rob.full
+    with pytest.raises(SimulationError):
+        rob.push(_instr(3))
+
+
+def test_rob_squash_younger():
+    rob = ReorderBuffer(8)
+    instrs = [_instr(i) for i in range(1, 6)]
+    for instr in instrs:
+        rob.push(instr)
+    squashed = rob.squash_younger(3)
+    assert [i.seq for i in squashed] == [5, 4]
+    assert len(rob) == 3
+    assert rob.head().seq == 1
+
+
+def test_rob_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        ReorderBuffer(2).pop_head()
+
+
+# --- LSQ ---------------------------------------------------------------
+
+def test_lsq_allocate_release_cycle():
+    lsq = LoadStoreQueue(2)
+    lsq.allocate(_instr(1, Opcode.LOAD, sources=(1,)))
+    lsq.allocate(_instr(2, Opcode.STORE, dest=None))
+    assert lsq.full
+    lsq.release()
+    assert not lsq.full
+    lsq.release()
+    with pytest.raises(SimulationError):
+        lsq.release()
+
+
+def test_lsq_overflow_raises():
+    lsq = LoadStoreQueue(1)
+    lsq.allocate(_instr(1, Opcode.LOAD, sources=(1,)))
+    with pytest.raises(SimulationError):
+        lsq.allocate(_instr(2, Opcode.LOAD, sources=(1,)))
+
+
+# --- renamer -------------------------------------------------------------
+
+def test_rename_tracks_producers():
+    renamer = RegisterRenamer()
+    producer = _instr(10, dest=5)
+    waits = renamer.rename(producer)
+    assert waits == ()  # sources architectural, ready
+    assert producer.phys_dest == 10
+    consumer = _instr(11, dest=6, sources=(5,))
+    waits = renamer.rename(consumer)
+    assert waits == (10,)
+    renamer.mark_completed(10)
+    late_consumer = _instr(12, dest=7, sources=(5,))
+    assert renamer.rename(late_consumer) == ()
+
+
+def test_rename_zero_register_never_renamed():
+    renamer = RegisterRenamer()
+    instr = _instr(10, dest=0)
+    renamer.rename(instr)
+    assert instr.phys_dest == -1
+
+
+def test_rename_checkpoint_restore():
+    renamer = RegisterRenamer()
+    renamer.rename(_instr(1, dest=5))
+    checkpoint = renamer.checkpoint()
+    renamer.rename(_instr(2, dest=5))
+    consumer = _instr(3, sources=(5,))
+    renamer.rename(consumer)
+    assert consumer.phys_sources == (2,)
+    renamer.restore(checkpoint)
+    consumer2 = _instr(4, sources=(5,))
+    renamer.rename(consumer2)
+    assert consumer2.phys_sources == (1,)
+
+
+def test_renamer_forget_squashed_tag():
+    renamer = RegisterRenamer()
+    renamer.rename(_instr(1, dest=5))
+    assert renamer.is_pending(1)
+    renamer.forget(1)
+    assert not renamer.is_pending(1)
+
+
+# --- issue queue -------------------------------------------------------
+
+def _pool():
+    return FunctionalUnitPool(table3_config())
+
+
+def test_iq_ready_at_dispatch_issues():
+    iq = IssueQueue(8)
+    pool = _pool()
+    pool.new_cycle()
+    instr = _instr(1)
+    iq.dispatch(instr, ())
+    selected = iq.select(8, pool, lambda i: False)
+    assert selected == [instr]
+    assert instr.issued
+    assert len(iq) == 0
+
+
+def test_iq_wakeup_chain():
+    iq = IssueQueue(8)
+    pool = _pool()
+    consumer = _instr(2, sources=(1,))
+    iq.dispatch(consumer, (1,))
+    pool.new_cycle()
+    assert iq.select(8, pool, lambda i: False) == []
+    woken = iq.wakeup(1)
+    assert woken == 1
+    pool.new_cycle()
+    assert iq.select(8, pool, lambda i: False) == [consumer]
+
+
+def test_iq_select_oldest_first_and_width_limit():
+    iq = IssueQueue(16)
+    pool = _pool()
+    instrs = [_instr(seq) for seq in (5, 3, 9, 1)]
+    for instr in instrs:
+        iq.dispatch(instr, ())
+    pool.new_cycle()
+    selected = iq.select(2, pool, lambda i: False)
+    assert [i.seq for i in selected] == [1, 3]
+
+
+def test_iq_select_respects_blocker():
+    iq = IssueQueue(8)
+    pool = _pool()
+    a, b = _instr(1), _instr(2)
+    iq.dispatch(a, ())
+    iq.dispatch(b, ())
+    pool.new_cycle()
+    selected = iq.select(8, pool, lambda i: i.seq == 1)
+    assert selected == [b]
+    # blocked instruction remains ready for later cycles
+    pool.new_cycle()
+    assert iq.select(8, pool, lambda i: False) == [a]
+
+
+def test_iq_select_respects_fu_limits():
+    iq = IssueQueue(16)
+    pool = _pool()
+    muls = [_instr(seq, Opcode.MUL) for seq in range(1, 5)]
+    for instr in muls:
+        iq.dispatch(instr, ())
+    pool.new_cycle()
+    selected = iq.select(8, pool, lambda i: False)
+    assert len(selected) == 2  # Table 3: 2 integer multipliers
+
+
+def test_iq_mem_ports_shared_between_loads_and_stores():
+    iq = IssueQueue(16)
+    pool = _pool()
+    iq.dispatch(_instr(1, Opcode.LOAD, sources=(1,)), ())
+    iq.dispatch(_instr(2, Opcode.STORE, dest=None, sources=(1, 2)), ())
+    iq.dispatch(_instr(3, Opcode.LOAD, sources=(1,)), ())
+    pool.new_cycle()
+    selected = iq.select(8, pool, lambda i: False)
+    assert len(selected) == 2  # Table 3: 2 memory ports
+
+
+def test_iq_squash_removes_from_ready():
+    iq = IssueQueue(8)
+    pool = _pool()
+    old, young = _instr(1), _instr(9)
+    iq.dispatch(old, ())
+    iq.dispatch(young, ())
+    young.squashed = True
+    iq.squash_younger(5)
+    iq.note_squashed(young)
+    pool.new_cycle()
+    assert iq.select(8, pool, lambda i: False) == [old]
+    assert len(iq) == 0
+
+
+def test_iq_wakeup_skips_squashed():
+    iq = IssueQueue(8)
+    waiter = _instr(2, sources=(1,))
+    iq.dispatch(waiter, (1,))
+    waiter.squashed = True
+    assert iq.wakeup(1) == 0
+
+
+def test_iq_full_raises():
+    iq = IssueQueue(1)
+    iq.dispatch(_instr(1), ())
+    with pytest.raises(SimulationError):
+        iq.dispatch(_instr(2), ())
+
+
+# --- FU pool ---------------------------------------------------------------
+
+def test_fu_pool_branch_shares_int_alu():
+    pool = _pool()
+    pool.new_cycle()
+    claimed = 0
+    while pool.try_claim(OpClass.BRANCH):
+        claimed += 1
+    assert claimed == table3_config().int_alu
+    assert not pool.try_claim(OpClass.INT_ALU)
+
+
+def test_fu_pool_refreshes_each_cycle():
+    pool = _pool()
+    pool.new_cycle()
+    assert pool.try_claim(OpClass.FP_MULT)
+    assert not pool.try_claim(OpClass.FP_MULT)
+    pool.new_cycle()
+    assert pool.try_claim(OpClass.FP_MULT)

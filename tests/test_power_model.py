@@ -1,0 +1,172 @@
+"""Tests for the power model and its clock-gating styles."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction, StaticInstruction
+from repro.isa.opcodes import Opcode
+from repro.power.model import ClockGatingStyle, PowerModel
+from repro.power.units import (
+    NUM_UNITS,
+    TABLE1_SHARES,
+    TABLE1_TOTAL_WATTS,
+    DEFAULT_PORTS,
+    PowerUnit,
+    UnitPowerTable,
+    calibrated_unit_powers,
+    default_unit_powers,
+)
+
+
+def _flat_table(watts=10.0):
+    return UnitPowerTable(
+        {unit: watts for unit in PowerUnit},
+        DEFAULT_PORTS,
+        frequency_hz=1e9,
+    )
+
+
+def test_cc0_burns_max_power_always():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC0)
+    model.end_cycle(model.new_activity(), occupancy=0.0)
+    assert math.isclose(model.average_power(), 10.0 * NUM_UNITS)
+
+
+def test_cc1_all_or_nothing():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC1)
+    activity = model.new_activity()
+    activity[PowerUnit.ICACHE] = 1  # any usage -> full power
+    model.end_cycle(activity, occupancy=0.0)
+    assert math.isclose(model.unit_energy[PowerUnit.ICACHE], 10.0 * 1e-9)
+    assert model.unit_energy[PowerUnit.ALU] == 0.0
+
+
+def test_cc2_linear_zero_idle():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC2)
+    activity = model.new_activity()
+    activity[PowerUnit.DCACHE] = 1  # 1 of 2 ports
+    model.end_cycle(activity, occupancy=0.0)
+    assert math.isclose(model.unit_energy[PowerUnit.DCACHE], 5.0 * 1e-9)
+    assert model.unit_energy[PowerUnit.ALU] == 0.0
+
+
+def test_cc3_idle_floor_ten_percent():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC3)
+    model.end_cycle(model.new_activity(), occupancy=0.0)
+    for unit in PowerUnit:
+        assert math.isclose(model.unit_energy[unit], 1.0 * 1e-9)
+
+
+def test_cc3_linear_with_usage():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC3)
+    activity = model.new_activity()
+    activity[PowerUnit.DCACHE] = 2  # both ports: full power
+    model.end_cycle(activity, occupancy=0.0)
+    assert math.isclose(model.unit_energy[PowerUnit.DCACHE], 10.0 * 1e-9)
+
+
+def test_usage_clamped_at_ports():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC3)
+    activity = model.new_activity()
+    activity[PowerUnit.DCACHE] = 99
+    model.end_cycle(activity, occupancy=0.0)
+    assert math.isclose(model.unit_energy[PowerUnit.DCACHE], 10.0 * 1e-9)
+
+
+def test_clock_uses_occupancy():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC3)
+    model.end_cycle(model.new_activity(), occupancy=1.0)
+    assert math.isclose(model.unit_energy[PowerUnit.CLOCK], 10.0 * 1e-9)
+
+
+def test_squashed_attribution_moves_energy_to_wasted():
+    model = PowerModel(_flat_table(), ClockGatingStyle.CC3)
+    instr = DynamicInstruction(0, StaticInstruction(0, Opcode.ADD, dest=3))
+    model.attach(instr)
+    instr.unit_accesses[PowerUnit.ALU] = 2
+    instr.fetch_cycle = 0
+    model.credit_squashed(instr, now_cycle=5)
+    expected = 2 * (10.0 * 1e-9 * 0.9 / DEFAULT_PORTS[PowerUnit.ALU])
+    assert math.isclose(model.wasted_energy[PowerUnit.ALU], expected)
+    assert model.wasted_instr_cycles == 5
+
+
+def test_committed_instruction_counts_clock_cycles():
+    model = PowerModel(_flat_table())
+    instr = DynamicInstruction(0, StaticInstruction(0, Opcode.ADD, dest=3))
+    instr.fetch_cycle = 2
+    model.credit_committed(instr, now_cycle=10)
+    assert model.committed_instr_cycles == 8
+
+
+def test_wasted_clock_energy_proportional_to_wrong_cycles():
+    model = PowerModel(_flat_table())
+    # one cycle of full clock activity
+    model.end_cycle(model.new_activity(), occupancy=1.0)
+    squashed = DynamicInstruction(0, StaticInstruction(0, Opcode.ADD, dest=3))
+    model.attach(squashed)
+    squashed.fetch_cycle = 0
+    model.credit_squashed(squashed, now_cycle=3)
+    committed = DynamicInstruction(1, StaticInstruction(4, Opcode.ADD, dest=3))
+    committed.fetch_cycle = 0
+    model.credit_committed(committed, now_cycle=9)
+    # 3 wrong cycles of 12 retired-instruction cycles; the paper's
+    # convention attributes the unit's *total* energy proportionally.
+    expected_fraction = 3 / 12
+    assert math.isclose(
+        model.wasted_clock_energy(),
+        model.unit_energy[PowerUnit.CLOCK] * expected_fraction,
+    )
+    # The stricter dynamic-only accounting is also exposed.
+    assert math.isclose(
+        model.unit_wasted_dynamic_energy(PowerUnit.CLOCK),
+        model.dynamic_energy[PowerUnit.CLOCK] * expected_fraction,
+    )
+
+
+def test_breakdown_shares_sum_to_one():
+    model = PowerModel(_flat_table())
+    activity = model.new_activity()
+    activity[PowerUnit.ICACHE] = 4
+    model.end_cycle(activity, occupancy=0.5)
+    shares = sum(row["share"] for row in model.breakdown().values())
+    assert math.isclose(shares, 1.0)
+
+
+def test_calibration_hits_table1_breakdown():
+    utilization = {unit: 0.5 for unit in PowerUnit}
+    table = calibrated_unit_powers(utilization)
+    # with cc3 at exactly the calibrated utilisation, shares match Table 1
+    for unit in PowerUnit:
+        average = table.max_watts[unit] * (0.1 + 0.9 * 0.5)
+        assert math.isclose(average, TABLE1_SHARES[unit] * TABLE1_TOTAL_WATTS)
+
+
+def test_calibration_validates_utilisation():
+    with pytest.raises(ConfigurationError):
+        calibrated_unit_powers({unit: 2.0 for unit in PowerUnit})
+
+
+def test_default_unit_powers_frequency():
+    table = default_unit_powers()
+    assert math.isclose(table.cycle_seconds, 1 / 1.2e9)
+
+
+def test_unit_power_table_validation():
+    with pytest.raises(ConfigurationError):
+        UnitPowerTable({}, DEFAULT_PORTS)
+    with pytest.raises(ConfigurationError):
+        UnitPowerTable({unit: -1.0 for unit in PowerUnit}, DEFAULT_PORTS)
+
+
+def test_average_utilization_tracks_usage():
+    model = PowerModel(_flat_table())
+    activity = model.new_activity()
+    activity[PowerUnit.DCACHE] = 1  # 0.5 usage
+    model.end_cycle(activity, occupancy=0.25)
+    model.end_cycle(model.new_activity(), occupancy=0.25)
+    utilization = model.average_utilization()
+    assert math.isclose(utilization[PowerUnit.DCACHE], 0.25)
+    assert math.isclose(utilization[PowerUnit.CLOCK], 0.25)

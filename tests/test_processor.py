@@ -1,0 +1,212 @@
+"""Integration tests for the full processor pipeline."""
+
+import pytest
+
+from repro.core.gating import PipelineGatingController
+from repro.core.oracle import OracleController, OracleMode
+from repro.core.policy import experiment_policy
+from repro.core.throttler import SelectiveThrottler
+from repro.errors import SimulationError
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor, build_estimator, build_predictor
+from repro.program.generator import ProgramGenerator
+
+from dataclasses import replace
+
+from tests.conftest import run_small, small_shape
+
+
+def _program():
+    return ProgramGenerator(small_shape(), seed=42, name="testprog").generate()
+
+
+def test_baseline_run_commits_requested_instructions(fresh_program):
+    processor = run_small(fresh_program, instructions=3000)
+    assert processor.stats.committed >= 3000
+    assert processor.stats.cycles > 0
+    assert 0.1 < processor.stats.ipc <= 8.0
+
+
+def test_run_rejects_nonpositive_instructions(fresh_program):
+    processor = Processor(table3_config(), fresh_program, seed=42)
+    with pytest.raises(SimulationError):
+        processor.run(0)
+
+
+def test_determinism_across_runs():
+    a = run_small(_program(), instructions=3000)
+    b = run_small(_program(), instructions=3000)
+    assert a.stats.cycles == b.stats.cycles
+    assert a.stats.committed == b.stats.committed
+    assert a.stats.mispredictions_committed == b.stats.mispredictions_committed
+    assert a.power.total_energy() == pytest.approx(b.power.total_energy())
+
+
+def test_wrong_path_instructions_are_fetched_and_squashed(fresh_program):
+    processor = run_small(fresh_program, instructions=4000)
+    stats = processor.stats
+    assert stats.mispredictions_committed > 0
+    assert stats.fetched_wrong_path > 0
+    assert stats.squashed > 0
+    # wrong-path work never commits
+    assert stats.committed + stats.squashed <= stats.fetched + 1
+
+
+def test_wrong_path_energy_is_attributed(fresh_program):
+    processor = run_small(fresh_program, instructions=4000)
+    wasted = processor.power.total_wasted_energy()
+    total = processor.power.total_energy()
+    assert 0.0 < wasted < total * 0.8
+
+
+def test_branch_stats_consistency(fresh_program):
+    processor = run_small(fresh_program, instructions=4000)
+    stats = processor.stats
+    assert stats.cond_branches_committed > 0
+    assert 0 <= stats.mispredictions_committed <= stats.cond_branches_committed
+    assert 0.0 <= stats.branch_miss_rate < 1.0
+
+
+def test_commit_order_is_program_order(fresh_program):
+    """Committed true-path indices must be strictly increasing."""
+    processor = Processor(table3_config(), fresh_program, seed=42)
+    seen = []
+    original_commit = processor._commit
+
+    def spying_commit(cycle, activity):
+        head = processor.rob.head()
+        if head is not None and head.completed and head.true_index >= 0:
+            seen.append(head.true_index)
+        original_commit(cycle, activity)
+
+    processor._commit = spying_commit
+    processor.run(2000)
+    assert seen == sorted(seen)
+
+
+def test_reset_measurement_keeps_state(fresh_program):
+    processor = Processor(table3_config(), fresh_program, seed=42)
+    processor.run(2000)
+    misses_before = processor.memory.icache.stats.misses
+    processor.reset_measurement()
+    assert processor.stats.committed == 0
+    assert processor.power.total_energy() == 0.0
+    processor.run(1000)
+    # warm icache: far fewer cold misses in the second window
+    assert processor.memory.icache.stats.misses < misses_before
+
+
+def test_warmup_window_discards_statistics(fresh_program):
+    processor = Processor(table3_config(), fresh_program, seed=42)
+    stats = processor.run(2000, warmup_instructions=1000)
+    assert 2000 <= stats.committed < 2000 + 8
+
+
+def test_selective_throttler_reduces_energy(fresh_program):
+    baseline = run_small(_program(), instructions=5000)
+    throttled = run_small(
+        _program(),
+        controller=SelectiveThrottler(experiment_policy("A6")),
+        instructions=5000,
+    )
+    assert throttled.stats.fetch_throttled_cycles > 0
+    base_epi = baseline.power.total_energy() / baseline.stats.committed
+    thr_epi = throttled.power.total_energy() / throttled.stats.committed
+    assert thr_epi < base_epi
+
+
+def test_pipeline_gating_runs_and_gates(fresh_program):
+    controller = PipelineGatingController(1)
+    config = replace(table3_config(), confidence_kind="jrs")
+    processor = Processor(config, fresh_program, controller=controller, seed=42)
+    processor.run(5000)
+    assert controller.gated_cycles > 0
+    assert processor.stats.committed >= 5000
+
+
+def test_oracle_fetch_eliminates_wrong_path(fresh_program):
+    config = replace(table3_config(), confidence_kind="perfect")
+    processor = Processor(
+        config, fresh_program,
+        controller=OracleController(OracleMode.FETCH), seed=42,
+    )
+    processor.run(4000)
+    assert processor.stats.mispredictions_committed > 0
+    assert processor.stats.fetched_wrong_path == 0
+    assert processor.power.total_wasted_energy() == pytest.approx(0.0)
+
+
+def test_oracle_decode_fetches_but_never_decodes_wrong_path(fresh_program):
+    config = replace(table3_config(), confidence_kind="perfect")
+    processor = Processor(
+        config, fresh_program,
+        controller=OracleController(OracleMode.DECODE), seed=42,
+    )
+    processor.run(4000)
+    stats = processor.stats
+    assert stats.fetched_wrong_path > 0
+    # wrong-path work is cheaper than in the baseline: it dies before rename
+    baseline = run_small(_program(), instructions=4000)
+    assert stats.issued_wrong_path == 0
+    assert baseline.stats.issued_wrong_path > 0
+
+
+def test_oracle_select_issues_no_wrong_path(fresh_program):
+    config = replace(table3_config(), confidence_kind="perfect")
+    processor = Processor(
+        config, fresh_program,
+        controller=OracleController(OracleMode.SELECT), seed=42,
+    )
+    processor.run(4000)
+    assert processor.stats.fetched_wrong_path > 0
+    assert processor.stats.issued_wrong_path == 0
+
+
+def test_oracle_energy_ordering(fresh_program):
+    """Fetch oracle saves the most, then decode, then select (paper Fig. 1)."""
+    energies = {}
+    for mode in OracleMode:
+        config = replace(table3_config(), confidence_kind="perfect")
+        processor = Processor(
+            config, _program(), controller=OracleController(mode), seed=42,
+        )
+        processor.run(5000)
+        energies[mode] = processor.power.total_energy() / processor.stats.committed
+    assert energies[OracleMode.FETCH] <= energies[OracleMode.DECODE]
+    assert energies[OracleMode.DECODE] <= energies[OracleMode.SELECT]
+
+
+def test_deeper_pipeline_longer_misprediction_penalty():
+    shallow = run_small(_program(), instructions=4000,
+                        config=table3_config().with_depth(6))
+    deep = run_small(_program(), instructions=4000,
+                     config=table3_config().with_depth(28))
+    assert deep.stats.ipc < shallow.stats.ipc
+
+
+def test_build_predictor_kinds():
+    for kind in ("gshare", "bimodal", "local2level", "hybrid", "static"):
+        config = replace(table3_config(), bpred_kind=kind)
+        assert build_predictor(config) is not None
+
+
+def test_build_estimator_kinds():
+    for kind, expected_none in (("bpru", False), ("jrs", False),
+                                ("perfect", False), ("none", True)):
+        config = replace(table3_config(), confidence_kind=kind)
+        estimator = build_estimator(config)
+        assert (estimator is None) == expected_none
+
+
+def test_rob_never_holds_squashed(fresh_program):
+    processor = Processor(table3_config(), fresh_program, seed=42)
+    for _ in range(3000):
+        processor.step()
+        assert all(not instr.squashed for instr in processor.rob)
+
+
+def test_power_activity_is_recorded(fresh_program):
+    processor = run_small(fresh_program, instructions=3000)
+    breakdown = processor.power.breakdown()
+    for unit in ("icache", "window", "clock", "alu"):
+        assert breakdown[unit]["share"] > 0.0

@@ -1,0 +1,130 @@
+"""Tests for the true-path oracle and wrong-path navigator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.program.cfg import TerminatorKind
+from repro.program.walker import TruePathOracle, WrongPathNavigator
+
+
+def test_oracle_deterministic():
+    # Behaviour state lives in the Program, so determinism is checked with
+    # two independently generated (identical) program instances.
+    from tests.conftest import small_shape
+    from repro.program.generator import ProgramGenerator
+
+    prog_a = ProgramGenerator(small_shape(), seed=42, name="testprog").generate()
+    prog_b = ProgramGenerator(small_shape(), seed=42, name="testprog").generate()
+    a = TruePathOracle(prog_a, seed=1)
+    b = TruePathOracle(prog_b, seed=1)
+    for index in range(2000):
+        ra, rb = a.get(index), b.get(index)
+        assert ra.static.address == rb.static.address
+        assert ra.taken == rb.taken
+        assert ra.mem_address == rb.mem_address
+
+
+def test_oracle_random_access_matches_sequential(small_program):
+    a = TruePathOracle(small_program, seed=1)
+    sequential = [a.get(i).static.address for i in range(500)]
+    b = TruePathOracle(small_program, seed=1)
+    assert b.get(499).static.address == sequential[499]
+    assert [b.get(i).static.address for i in range(500)] == sequential
+
+
+def test_oracle_follows_cfg_edges(small_program):
+    oracle = TruePathOracle(small_program, seed=1)
+    program = small_program
+    for index in range(3000):
+        record = oracle.get(index)
+        static = record.static
+        if not static.is_branch:
+            continue
+        block = program.block(static.block_id)
+        if block.kind is TerminatorKind.COND:
+            expected = block.taken_target if record.taken else block.fall_target
+            assert record.target_block == expected
+        elif block.kind is TerminatorKind.JUMP:
+            assert record.target_block == block.taken_target
+
+
+def test_oracle_branch_record_consistency(small_program):
+    oracle = TruePathOracle(small_program, seed=1)
+    for index in range(2000):
+        record = oracle.get(index)
+        if record.static.is_branch:
+            assert record.target_block >= 0 or not record.taken
+        else:
+            assert record.target_block == -1
+
+
+def test_oracle_memory_addresses_stay_in_region(small_program):
+    oracle = TruePathOracle(small_program, seed=1)
+    for index in range(3000):
+        record = oracle.get(index)
+        static = record.static
+        if static.op_class.value in ("mem_read", "mem_write"):
+            base = 0x1000_0000 + static.mem_region * 0x10_0000
+            assert base <= record.mem_address < base + 0x10_0000
+            assert record.mem_address % 4 == 0
+
+
+def test_oracle_prune_and_reject_old(small_program):
+    oracle = TruePathOracle(small_program, seed=1)
+    oracle.get(1000)
+    oracle.prune_before(900)
+    assert oracle.get(900) is not None
+    with pytest.raises(SimulationError):
+        oracle.get(100)
+
+
+def test_wrongpath_deterministic(small_program):
+    nav_a = WrongPathNavigator(small_program, seed=1)
+    nav_b = WrongPathNavigator(small_program, seed=1)
+    cursor_a = nav_a.start_cursor(2, salt=5)
+    cursor_b = nav_b.start_cursor(2, salt=5)
+    for _ in range(200):
+        sa, ta, ga, cursor_a, ma = nav_a.fetch_one(cursor_a)
+        sb, tb, gb, cursor_b, mb = nav_b.fetch_one(cursor_b)
+        assert sa is sb and ta == tb and ga == gb and ma == mb
+
+
+def test_wrongpath_differs_by_salt(small_program):
+    nav = WrongPathNavigator(small_program, seed=1)
+    def walk(salt, steps=300):
+        cursor = nav.start_cursor(2, salt=salt)
+        trail = []
+        for _ in range(steps):
+            static, taken, _, cursor, _ = nav.fetch_one(cursor)
+            trail.append((static.address, taken))
+        return trail
+    assert walk(1) != walk(2)
+
+
+def test_wrongpath_never_touches_true_state(small_program):
+    oracle = TruePathOracle(small_program, seed=1)
+    baseline = [oracle.get(i).taken for i in range(300) if oracle.get(i).static.is_cond_branch]
+
+    fresh = TruePathOracle(small_program, seed=1)
+    nav = WrongPathNavigator(small_program, seed=1)
+    cursor = nav.start_cursor(1, salt=3)
+    interleaved = []
+    walked = 0
+    for i in range(300):
+        record = fresh.get(i)
+        if record.static.is_cond_branch:
+            interleaved.append(record.taken)
+        # wander the wrong path between true-path reads
+        for _ in range(3):
+            _, _, _, cursor, _ = nav.fetch_one(cursor)
+            walked += 1
+    assert walked > 0
+    assert interleaved == baseline
+
+
+def test_wrongpath_call_stack_bounded(small_program):
+    nav = WrongPathNavigator(small_program, seed=1)
+    cursor = nav.start_cursor(0, salt=1)
+    for _ in range(5000):
+        _, _, _, cursor, _ = nav.fetch_one(cursor)
+        assert len(cursor[2]) <= 64

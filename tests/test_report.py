@@ -1,0 +1,104 @@
+"""Text rendering and export of figure results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.results import ComparisonResult
+from repro.report.ascii import bar_chart, figure_bars, sweep_lines
+from repro.report.export import figure_to_csv, figure_to_json, figure_to_records
+
+
+def _figure() -> FigureResult:
+    figure = FigureResult("demo")
+    figure.rows["X1"] = {
+        "go": ComparisonResult("go", "X1", 0.95, 12.0, 9.0, 5.0),
+        "gcc": ComparisonResult("gcc", "X1", 0.98, 8.0, 6.0, 4.0),
+    }
+    figure.rows["X2"] = {
+        "go": ComparisonResult("go", "X2", 0.90, 15.0, 10.0, -2.0),
+        "gcc": ComparisonResult("gcc", "X2", 0.93, 11.0, 8.0, 1.0),
+    }
+    return figure
+
+
+def test_bar_chart_renders_all_rows():
+    text = bar_chart({"go": 10.0, "gcc": 5.0})
+    assert "go" in text and "gcc" in text
+    assert text.count("\n") == 1
+
+
+def test_bar_chart_marks_negative_values_differently():
+    text = bar_chart({"up": 5.0, "down": -5.0})
+    lines = dict(zip(("up", "down"), text.splitlines()))
+    assert "#" in lines["up"] and "#" not in lines["down"]
+    assert "-" in lines["down"]
+
+
+def test_bar_chart_scales_to_largest_magnitude():
+    text = bar_chart({"big": 100.0, "small": 1.0}, width=20)
+    big_line, small_line = text.splitlines()
+    assert big_line.count("#") == 20
+    assert small_line.count("#") == 1
+
+
+def test_bar_chart_empty_input():
+    assert bar_chart({}) == "(no data)"
+
+
+def test_figure_bars_contains_every_experiment_and_benchmark():
+    text = figure_bars(_figure(), "energy_savings_pct")
+    for token in ("X1", "X2", "go", "gcc", "Energy savings"):
+        assert token in text
+
+
+def test_figure_bars_speedup_zero_is_one():
+    # speedup bars grow from 1.0; a 0.95 speedup is a (small) regression bar
+    text = figure_bars(_figure(), "speedup")
+    assert "Speedup" in text
+
+
+def test_figure_bars_rejects_unknown_metric():
+    with pytest.raises(ValueError):
+        figure_bars(_figure(), "nonsense")
+
+
+def test_figure_bars_benchmark_subset():
+    text = figure_bars(_figure(), "energy_savings_pct", benchmarks=("go",))
+    assert "go" in text
+    assert "gcc" not in text
+
+
+def test_sweep_lines_formats_points():
+    sweep = {
+        6: {"energy_savings_pct": 11.0, "ed_improvement_pct": 5.0},
+        14: {"energy_savings_pct": 13.0, "ed_improvement_pct": 8.0},
+    }
+    text = sweep_lines(sweep, x_label="depth")
+    assert "depth=6" in text and "depth=14" in text
+
+
+def test_records_flatten_every_cell():
+    records = figure_to_records(_figure())
+    assert len(records) == 4
+    keys = {(r["experiment"], r["benchmark"]) for r in records}
+    assert ("X1", "go") in keys and ("X2", "gcc") in keys
+
+
+def test_csv_round_trip():
+    text = figure_to_csv(_figure())
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 4
+    assert rows[0]["figure"] == "demo"
+    assert float(rows[0]["speedup"]) == pytest.approx(0.95)
+
+
+def test_json_payload_includes_averages():
+    payload = json.loads(figure_to_json(_figure()))
+    assert payload["figure"] == "demo"
+    assert len(payload["records"]) == 4
+    assert "X1" in payload["averages"]
+    assert payload["averages"]["X2"]["ed_improvement_pct"] == pytest.approx(-0.5)

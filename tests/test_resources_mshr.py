@@ -1,0 +1,87 @@
+"""Miss-status register behaviour of the functional-unit pool."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import ProcessorConfig, table3_config
+from repro.pipeline.resources import FunctionalUnitPool
+
+
+def _pool(**overrides) -> FunctionalUnitPool:
+    return FunctionalUnitPool(replace(table3_config(), **overrides))
+
+
+def test_mshr_starts_free():
+    pool = _pool(mshr_count=4)
+    assert pool.mshr_free
+    assert pool.mshr_busy_count == 0
+
+
+def test_hold_mshr_occupies_until_release_cycle():
+    pool = _pool(mshr_count=1)
+    pool.hold_mshr(until_cycle=10)
+    pool.new_cycle(5)
+    assert not pool.mshr_free
+    pool.new_cycle(10)
+    assert pool.mshr_free
+
+
+def test_load_issue_blocked_without_free_mshr():
+    pool = _pool(mshr_count=1)
+    pool.new_cycle(0)
+    pool.hold_mshr(until_cycle=100)
+    pool.new_cycle(1)
+    assert not pool.try_claim(OpClass.MEM_READ)
+
+
+def test_store_issue_not_gated_by_mshrs():
+    # Stores retire through the write buffer; only loads demand an MSHR.
+    pool = _pool(mshr_count=1)
+    pool.new_cycle(0)
+    pool.hold_mshr(until_cycle=100)
+    pool.new_cycle(1)
+    assert pool.try_claim(OpClass.MEM_WRITE)
+
+
+def test_alu_issue_unaffected_by_mshr_pressure():
+    pool = _pool(mshr_count=1)
+    pool.hold_mshr(until_cycle=100)
+    pool.new_cycle(1)
+    assert pool.try_claim(OpClass.INT_ALU)
+
+
+def test_mshrs_release_in_completion_order():
+    pool = _pool(mshr_count=2)
+    pool.hold_mshr(until_cycle=5)
+    pool.hold_mshr(until_cycle=20)
+    pool.new_cycle(6)
+    assert pool.mshr_busy_count == 1
+    assert pool.mshr_free
+    pool.new_cycle(21)
+    assert pool.mshr_busy_count == 0
+
+
+def test_mem_ports_still_cap_per_cycle_issue():
+    pool = _pool(mshr_count=64)
+    pool.new_cycle(0)
+    claimed = sum(pool.try_claim(OpClass.MEM_READ) for _ in range(5))
+    assert claimed == table3_config().mem_ports
+
+
+def test_mshr_count_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        ProcessorConfig(mshr_count=0)
+
+
+def test_squash_does_not_recall_fills():
+    """The pool has no cancellation interface at all: a fill, once started,
+    runs to its release cycle.  (This is the §3 resource-waste channel.)"""
+    pool = _pool(mshr_count=1)
+    pool.hold_mshr(until_cycle=50)
+    # There is intentionally no method to remove the entry early.
+    assert not hasattr(pool, "cancel_mshr")
+    pool.new_cycle(49)
+    assert not pool.mshr_free

@@ -1,0 +1,132 @@
+"""Pipeline tracing: capture, queries and text rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction, StaticInstruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor
+from repro.tracing import PipelineTracer, render_pipetrace, stage_occupancy_histogram
+from repro.tracing.render import wrong_path_shadow_report
+from repro.workloads.suite import benchmark_spec
+
+
+def _fake_instr(seq, wrong_path=False, opcode=Opcode.ADD):
+    instr = DynamicInstruction(seq, StaticInstruction(seq * 4, opcode, dest=3))
+    instr.fetch_cycle = seq
+    instr.decode_cycle = seq + 2
+    instr.rename_cycle = seq + 4
+    instr.issue_cycle = seq + 6
+    instr.complete_cycle = seq + 7
+    instr.on_wrong_path = wrong_path
+    return instr
+
+
+def test_tracer_records_commits_and_squashes():
+    tracer = PipelineTracer()
+    committed = _fake_instr(0)
+    squashed = _fake_instr(1, wrong_path=True)
+    squashed.squashed = True
+    tracer.on_commit(committed, 10)
+    tracer.on_squash(squashed, 11)
+    assert tracer.committed_count == 1
+    assert tracer.squashed_count == 1
+    assert len(tracer.committed()) == 1
+    assert len(tracer.squashed()) == 1
+
+
+def test_tracer_capacity_keeps_most_recent():
+    tracer = PipelineTracer(capacity=3)
+    for seq in range(10):
+        tracer.on_commit(_fake_instr(seq), seq + 9)
+    traces = tracer.traces()
+    assert len(traces) == 3
+    assert [t.seq for t in traces] == [7, 8, 9]
+    assert tracer.committed_count == 10  # counters keep the full tally
+
+
+def test_trace_lifetime_and_issue_wait():
+    tracer = PipelineTracer()
+    tracer.on_commit(_fake_instr(0), 9)
+    trace = tracer.traces()[0]
+    assert trace.lifetime == 9
+    assert trace.issue_wait == 2
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        PipelineTracer(capacity=0)
+
+
+def test_render_pipetrace_letters_in_order():
+    tracer = PipelineTracer()
+    tracer.on_commit(_fake_instr(0), 9)
+    text = render_pipetrace(tracer.traces())
+    row = text.splitlines()[1]
+    body = row.split("|", 1)[1]
+    letters = [c for c in body if c != " "]
+    assert letters == ["F", "D", "R", "I", "C", "T"]
+
+
+def test_render_pipetrace_lowercases_wrong_path():
+    tracer = PipelineTracer()
+    instr = _fake_instr(0, wrong_path=True)
+    instr.squashed = True
+    tracer.on_squash(instr, 8)
+    text = render_pipetrace(tracer.traces())
+    assert "f" in text and "F" not in text.split("|", 2)[-1]
+
+
+def test_render_pipetrace_empty():
+    assert render_pipetrace([]) == "(no traces)"
+
+
+def test_histogram_buckets_lifetimes():
+    tracer = PipelineTracer()
+    for seq in range(8):
+        tracer.on_commit(_fake_instr(seq), seq + 9)  # all lifetime 9
+    text = stage_occupancy_histogram(tracer.traces(), bucket=4)
+    assert "8-11" in text
+    assert "8 instructions" in text
+
+
+def test_shadow_report_counts_wrong_path_work():
+    tracer = PipelineTracer()
+    branch = _fake_instr(0, opcode=Opcode.BR_COND)
+    branch.mispredicted = True
+    tracer.on_commit(branch, 9)
+    for seq in (1, 2, 3):
+        wp = _fake_instr(seq, wrong_path=True)
+        wp.squashed = True
+        if seq == 3:
+            wp.issue_cycle = -1  # never issued
+        tracer.on_squash(wp, 12)
+    report = wrong_path_shadow_report(tracer.traces())
+    assert "3" in report  # 3 fetched
+    assert "2" in report  # 2 issued
+
+
+def test_tracer_in_full_simulation():
+    spec = benchmark_spec("gzip")
+    processor = Processor(table3_config(), spec.build_program(), seed=spec.seed)
+    tracer = PipelineTracer(capacity=5_000)
+    processor.observer = tracer
+    processor.run(2_000, warmup_instructions=0)
+    assert tracer.committed_count >= 2_000
+    assert tracer.squashed_count > 0
+    branches = tracer.mispredicted_branches()
+    assert branches, "expected mispredicted branches in the window"
+    # Committed instructions must show a monotone stage progression.
+    for trace in tracer.committed()[:200]:
+        events = trace.stage_events()
+        cycles = [cycle for cycle, _ in events]
+        assert cycles == sorted(cycles)
+
+
+def test_clear_resets_everything():
+    tracer = PipelineTracer()
+    tracer.on_commit(_fake_instr(0), 9)
+    tracer.clear()
+    assert not tracer.traces()
+    assert tracer.committed_count == 0

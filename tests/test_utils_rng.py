@@ -1,0 +1,120 @@
+"""Tests for the deterministic RNG streams."""
+
+import pytest
+
+from repro.utils.rng import XorShiftRNG, derive_seed, stateless_hash
+
+
+def test_same_seed_same_stream():
+    a = XorShiftRNG(123)
+    b = XorShiftRNG(123)
+    assert [a.next_u64() for _ in range(100)] == [b.next_u64() for _ in range(100)]
+
+
+def test_different_seeds_different_streams():
+    a = XorShiftRNG(123)
+    b = XorShiftRNG(124)
+    assert [a.next_u64() for _ in range(10)] != [b.next_u64() for _ in range(10)]
+
+
+def test_random_in_unit_interval():
+    rng = XorShiftRNG(7)
+    for _ in range(1000):
+        value = rng.random()
+        assert 0.0 <= value < 1.0
+
+
+def test_random_is_roughly_uniform():
+    rng = XorShiftRNG(7)
+    mean = sum(rng.random() for _ in range(20_000)) / 20_000
+    assert abs(mean - 0.5) < 0.02
+
+
+def test_randint_bounds_inclusive():
+    rng = XorShiftRNG(9)
+    values = {rng.randint(3, 5) for _ in range(200)}
+    assert values == {3, 4, 5}
+
+
+def test_randint_single_value():
+    rng = XorShiftRNG(9)
+    assert rng.randint(4, 4) == 4
+
+
+def test_randint_empty_range_raises():
+    rng = XorShiftRNG(9)
+    with pytest.raises(ValueError):
+        rng.randint(5, 4)
+
+
+def test_choice_and_empty_choice():
+    rng = XorShiftRNG(1)
+    assert rng.choice([10]) == 10
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_chance_extremes():
+    rng = XorShiftRNG(1)
+    assert not any(rng.chance(0.0) for _ in range(100))
+    assert all(rng.chance(1.0) for _ in range(100))
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = XorShiftRNG(5)
+    picks = {rng.weighted_choice(("a", "b"), (1.0, 0.0)) for _ in range(100)}
+    assert picks == {"a"}
+
+
+def test_weighted_choice_distribution():
+    rng = XorShiftRNG(5)
+    counts = {"a": 0, "b": 0}
+    for _ in range(10_000):
+        counts[rng.weighted_choice(("a", "b"), (3.0, 1.0))] += 1
+    ratio = counts["a"] / counts["b"]
+    assert 2.5 < ratio < 3.6
+
+
+def test_weighted_choice_validation():
+    rng = XorShiftRNG(5)
+    with pytest.raises(ValueError):
+        rng.weighted_choice(("a",), (1.0, 2.0))
+    with pytest.raises(ValueError):
+        rng.weighted_choice(("a", "b"), (0.0, 0.0))
+
+
+def test_shuffle_is_permutation():
+    rng = XorShiftRNG(11)
+    items = list(range(50))
+    shuffled = items.copy()
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # astronomically unlikely to be identity
+
+
+def test_state_roundtrip():
+    rng = XorShiftRNG(77)
+    rng.next_u64()
+    state = rng.getstate()
+    first = [rng.next_u64() for _ in range(5)]
+    rng.setstate(state)
+    assert [rng.next_u64() for _ in range(5)] == first
+
+
+def test_setstate_rejects_invalid():
+    rng = XorShiftRNG(77)
+    with pytest.raises(ValueError):
+        rng.setstate(0)
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+    assert derive_seed(1) != 0
+
+
+def test_stateless_hash_pure_and_sensitive():
+    assert stateless_hash(1, 2, 3) == stateless_hash(1, 2, 3)
+    assert stateless_hash(1, 2, 3) != stateless_hash(1, 2, 4)
+    assert stateless_hash(1, 2, 3) != stateless_hash(2, 2, 3)
