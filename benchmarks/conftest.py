@@ -6,14 +6,20 @@ completes on a laptop; raise them for a higher-fidelity pass::
 
     REPRO_BENCH_INSTRUCTIONS=60000 REPRO_BENCH_WARMUP=20000 \
         pytest benchmarks/ --benchmark-only -s
+
+The harness runs on the execution engine: ``REPRO_BENCH_JOBS=8`` fans each
+figure's simulations out over processes, and ``REPRO_BENCH_CACHE_DIR=DIR``
+persists per-simulation results so reruns only time what changed.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 import pytest
 
+from repro.experiments.engine import ResultCache
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -27,10 +33,26 @@ def bench_warmup() -> int:
     return int(os.environ.get("REPRO_BENCH_WARMUP", "4000"))
 
 
+def bench_jobs() -> int:
+    """Parallel simulation processes in the benchmark harness."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache() -> Optional[ResultCache]:
+    """The on-disk result cache of the harness (None when unset)."""
+    directory = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    return ResultCache(directory) if directory else None
+
+
 @pytest.fixture()
 def runner() -> ExperimentRunner:
     """A fresh experiment runner at benchmark scale."""
-    return ExperimentRunner(instructions=bench_instructions(), warmup=bench_warmup())
+    return ExperimentRunner(
+        instructions=bench_instructions(),
+        warmup=bench_warmup(),
+        jobs=bench_jobs(),
+        cache=bench_cache(),
+    )
 
 
 def run_once(benchmark, fn):

@@ -52,6 +52,15 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.engine import (
+    ExecutionEngine,
+    ResultCache,
+    SimCell,
+    build_engine,
+    make_cell,
+    simulate,
+)
 from repro.experiments.results import ComparisonResult, SimulationResult, compare
 from repro.experiments.runner import ExperimentRunner, make_controller, run_benchmark
 from repro.pipeline import Processor, ProcessorConfig, table3_config
@@ -100,6 +109,14 @@ __all__ = [
     "SimulationResult",
     "ComparisonResult",
     "compare",
+    "SimCell",
+    "make_cell",
+    "simulate",
+    "ExecutionEngine",
+    "ResultCache",
+    "build_engine",
+    "CampaignResult",
+    "run_campaign",
     # errors
     "ReproError",
     "ConfigurationError",

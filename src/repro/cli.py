@@ -12,14 +12,25 @@ Examples::
 
 Run lengths default to the library's simulation defaults; use
 ``--instructions``/``--warmup`` for quicker (or higher-fidelity) passes.
+``--jobs N`` simulates independent cells in N parallel processes and
+``--cache-dir DIR`` persists every simulation on disk (content-addressed),
+so repeated figure or campaign runs only simulate what changed::
+
+    python -m repro figure5 --jobs 8 --cache-dir ~/.cache/repro
+    python -m repro campaign C2 A5 --seeds 5 --jobs 8 --cache-dir ~/.cache/repro
+
+The cache directory can also come from the ``REPRO_CACHE_DIR`` environment
+variable; ``--no-cache`` disables it for one invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.core.policy import experiment_policy
 from repro.experiments import figures as fig_mod
 from repro.experiments import tables as tab_mod
 from repro.experiments.ablations import (
@@ -29,6 +40,8 @@ from repro.experiments.ablations import (
     gating_threshold_sweep,
     mshr_sensitivity,
 )
+from repro.experiments.campaign import format_campaign, run_campaign
+from repro.experiments.engine import ResultCache, build_engine
 from repro.experiments.runner import ExperimentRunner, run_benchmark
 from repro.report.ascii import figure_bars, sweep_lines
 from repro.report.export import figure_to_csv, figure_to_json
@@ -51,7 +64,7 @@ _FIGURES = {
 _COMMANDS = (
     "list", "table1", "table2", "table3",
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "run", "ablations",
+    "run", "ablations", "campaign",
 )
 
 
@@ -84,6 +97,26 @@ def _make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", default=None, help="write figure records to CSV")
     parser.add_argument("--json", default=None, help="write figure payload to JSON")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel simulation processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="persist per-simulation results in this directory "
+        "(default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the result cache for this invocation",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3,
+        help="program-seed variants per campaign cell (campaign only)",
+    )
+    parser.add_argument(
+        "--save", default=None, help="write campaign results to a JSON file"
+    )
     return parser
 
 
@@ -119,8 +152,10 @@ def _cmd_list() -> None:
     print("  run BENCH EXP [ESTIMATOR]   — one simulation vs its baseline")
     print("  ablations                   — estimator swap, escalation rule,")
     print("                                gating threshold, cc styles, MSHRs")
+    print("  campaign EXP [EXP ...]      — multi-seed sweep with 95% intervals")
     print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
     print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
+    print("scaling: --jobs N (parallel processes), --cache-dir DIR (resume)")
 
 
 def _cmd_run(options, runner: ExperimentRunner) -> None:
@@ -170,6 +205,37 @@ def _cmd_ablations(options, runner: ExperimentRunner, benchmarks) -> None:
         )
 
 
+def _experiment_spec(name: str) -> tuple:
+    """Map a CLI experiment name to a controller spec.
+
+    Policy names (A1-C6) become throttle specs; the per-figure Pipeline
+    Gating entries (A7, B9, C7) and ``gating:N`` become gating specs.
+    """
+    if name.startswith("gating:"):
+        return ("gating", int(name.split(":", 1)[1]))
+    if experiment_policy(name) is None:
+        return ("gating", 2)
+    return ("throttle", name)
+
+
+def _cmd_campaign(options, cache: Optional[ResultCache], benchmarks) -> None:
+    if not options.args:
+        raise SystemExit("usage: repro campaign EXPERIMENT [EXPERIMENT ...]")
+    experiments = {name: _experiment_spec(name) for name in options.args}
+    result = run_campaign(
+        experiments,
+        benchmarks=benchmarks,
+        seeds=options.seeds,
+        instructions=options.instructions or 8_000,
+        warmup=options.warmup,
+        engine=build_engine(jobs=options.jobs, cache=cache),
+    )
+    print(format_campaign(result))
+    if options.save:
+        result.save(options.save)
+        print(f"wrote {options.save}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     options = _make_parser().parse_args(argv)
     command = options.command
@@ -178,8 +244,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     benchmarks = _benchmark_list(options.benchmarks)
+    cache: Optional[ResultCache] = None
+    if options.cache_dir and not options.no_cache:
+        cache = ResultCache(options.cache_dir)
     runner = ExperimentRunner(
-        instructions=options.instructions, warmup=options.warmup
+        instructions=options.instructions, warmup=options.warmup,
+        jobs=options.jobs, cache=cache,
     )
 
     if command == "table1":
@@ -193,7 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit_figure(figure, options)
     elif command == "figure6":
         sweep = fig_mod.figure6(
-            instructions=options.instructions, benchmarks=benchmarks
+            instructions=options.instructions, benchmarks=benchmarks,
+            jobs=options.jobs, cache=cache,
         )
         print(fig_mod.format_sweep("figure6 (C2)", sweep, "depth"))
         if options.bars:
@@ -201,7 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(sweep_lines(sweep, (_BAR_METRICS[options.bars],), x_label="depth"))
     elif command == "figure7":
         sweep = fig_mod.figure7(
-            instructions=options.instructions, benchmarks=benchmarks
+            instructions=options.instructions, benchmarks=benchmarks,
+            jobs=options.jobs, cache=cache,
         )
         print(fig_mod.format_sweep("figure7 (C2)", sweep, "total KB"))
         if options.bars:
@@ -211,6 +283,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_run(options, runner)
     elif command == "ablations":
         _cmd_ablations(options, runner, benchmarks)
+    elif command == "campaign":
+        _cmd_campaign(options, cache, benchmarks)
     return 0
 
 

@@ -2,6 +2,15 @@
 and figures (see DESIGN.md for the experiment index)."""
 
 from repro.experiments.campaign import CampaignResult, run_campaign, summarize
+from repro.experiments.engine import (
+    ExecutionEngine,
+    ResultCache,
+    SimCell,
+    build_engine,
+    cell_fingerprint,
+    make_cell,
+    simulate,
+)
 from repro.experiments.policy_search import (
     PolicyPoint,
     enumerate_policies,
@@ -15,6 +24,7 @@ from repro.experiments.runner import (
     default_instructions,
     default_warmup,
     make_controller,
+    run_benchmark,
 )
 
 __all__ = [
@@ -23,9 +33,17 @@ __all__ = [
     "compare",
     "ControllerSpec",
     "make_controller",
+    "run_benchmark",
     "ExperimentRunner",
     "default_instructions",
     "default_warmup",
+    "SimCell",
+    "make_cell",
+    "simulate",
+    "cell_fingerprint",
+    "ResultCache",
+    "ExecutionEngine",
+    "build_engine",
     "CampaignResult",
     "run_campaign",
     "summarize",

@@ -24,10 +24,9 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.figures import FigureResult, _run_figure
 from repro.experiments.runner import ExperimentRunner, run_benchmark
 from repro.pipeline.config import table3_config
-from repro.pipeline.processor import Processor
-from repro.power.model import ClockGatingStyle, PowerModel
+from repro.power.model import ClockGatingStyle
 from repro.utils.stats import arithmetic_mean
-from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+from repro.workloads.suite import BENCHMARK_NAMES
 
 
 def estimator_swap(
@@ -91,18 +90,12 @@ def clock_gating_styles(
         powers = []
         wasted = []
         for name in names:
-            spec = benchmark_spec(name)
-            processor = Processor(
-                table3_config(),
-                spec.build_program(),
-                clock_gating=style,
-                seed=spec.seed,
+            result = run_benchmark(
+                name, ("baseline",), instructions=instructions, warmup=warmup,
+                clock_gating=style.value,
             )
-            processor.run(instructions, warmup_instructions=warmup)
-            model = processor.power
-            powers.append(model.average_power())
-            total = model.total_energy()
-            wasted.append(model.total_wasted_energy() / total if total else 0.0)
+            powers.append(result.average_power_watts)
+            wasted.append(result.wasted_energy_fraction)
         results[style.value] = {
             "average_power_watts": arithmetic_mean(powers),
             "wasted_fraction": arithmetic_mean(wasted),

@@ -7,6 +7,14 @@ result carries generator-seed variance; a campaign reruns each
 mean with a Student-t confidence interval — the difference between "C2
 saves 11.5% energy" and "C2 saves 11.5% ± 1.2% energy".
 
+Campaigns execute through the
+:class:`~repro.experiments.engine.ExecutionEngine`: ``jobs`` > 1 fans the
+(benchmark x mechanism x seed) cells out across processes, and
+``cache_dir`` persists every cell result on disk so an interrupted sweep
+resumes where it stopped.  Cells are enumerated in a deterministic order
+and the engine preserves it, so a parallel campaign serialises
+byte-identically to a serial one.
+
 Campaign results serialise to JSON so long sweeps survive interpreter
 restarts and can be diffed across code versions.
 """
@@ -15,19 +23,31 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.experiments.engine import (
+    ControllerSpec,
+    ExecutionEngine,
+    SimCell,
+    build_engine,
+    make_cell,
+)
 from repro.experiments.results import compare
-from repro.experiments.runner import ControllerSpec, run_benchmark
 from repro.pipeline.config import ProcessorConfig, table3_config
 from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
 
 # Two-sided 95% Student-t critical values by degrees of freedom; the tail
-# of the table falls back to the normal value.
+# of the table falls back to the normal value.  11-30 matter for real
+# campaigns (a 16-seed sweep has dof 15); past 30 the t value is within
+# ~2% of z and the normal approximation is conventional.
 _T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+         11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+         16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+         21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+         26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042}
 _Z_95 = 1.960
 
 METRICS = ("speedup", "power_savings_pct", "energy_savings_pct",
@@ -142,6 +162,42 @@ class CampaignResult:
             return cls.from_json(handle.read())
 
 
+def campaign_cells(
+    experiments: Dict[str, ControllerSpec],
+    benchmarks: Sequence[str],
+    seeds: int,
+    instructions: int,
+    warmup: int,
+    config: ProcessorConfig,
+) -> List[Tuple[Tuple[int, str, Optional[str]], SimCell]]:
+    """Enumerate every cell of a campaign in deterministic order.
+
+    Returns ``((variant, benchmark, label-or-None-for-baseline), cell)``
+    pairs; the ordering (variant-major, then benchmark, then baseline
+    before each experiment) is part of the campaign contract — the engine
+    preserves it, which is what makes ``jobs=N`` output byte-identical to
+    a serial run.
+    """
+    pairs: List[Tuple[Tuple[int, str, Optional[str]], SimCell]] = []
+    for variant in range(seeds):
+        for benchmark in benchmarks:
+            base_seed = benchmark_spec(benchmark).seed + 1000 * variant
+            pairs.append((
+                (variant, benchmark, None),
+                make_cell(benchmark, ("baseline",), config=config,
+                          instructions=instructions, warmup=warmup,
+                          seed=base_seed),
+            ))
+            for label, spec in experiments.items():
+                pairs.append((
+                    (variant, benchmark, label),
+                    make_cell(benchmark, spec, config=config,
+                              instructions=instructions, warmup=warmup,
+                              seed=base_seed, label=label),
+                ))
+    return pairs
+
+
 def run_campaign(
     experiments: Dict[str, ControllerSpec],
     benchmarks: Optional[Sequence[str]] = None,
@@ -150,6 +206,9 @@ def run_campaign(
     warmup: Optional[int] = None,
     config: Optional[ProcessorConfig] = None,
     name: str = "campaign",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> CampaignResult:
     """Run every (experiment, benchmark) cell across program-seed variants.
 
@@ -157,78 +216,42 @@ def run_campaign(
     ``spec.seed + 1000 * i`` — same calibrated shape, different sampled
     code — so the spread measures workload-sampling variance, not
     simulator noise (the simulator itself is deterministic).
+
+    ``jobs`` > 1 simulates cells in parallel processes; ``cache_dir``
+    persists per-cell results so a rerun (or an interrupted sweep) only
+    simulates what is missing.  Pass an ``engine`` directly to share a
+    cache/pool across campaigns or to inspect its counters.
     """
     if seeds < 1:
         raise ExperimentError("need at least one seed")
     names = list(benchmarks or BENCHMARK_NAMES)
     config = config or table3_config()
     warmup = instructions // 3 if warmup is None else warmup
-    seed_list: List[int] = []
+    engine = engine or build_engine(jobs=jobs, cache_dir=cache_dir)
+
     result = CampaignResult(
-        name=name, seeds=seed_list, instructions=instructions
+        name=name, seeds=list(range(seeds)), instructions=instructions
     )
     for label in experiments:
         result.samples[label] = {
             benchmark: {metric: [] for metric in METRICS} for benchmark in names
         }
 
-    for variant in range(seeds):
-        seed_list.append(variant)
-        for benchmark in names:
-            base_seed = benchmark_spec(benchmark).seed + 1000 * variant
-            baseline = _run_with_seed(
-                benchmark, ("baseline",), config, instructions, warmup, base_seed
-            )
-            for label, spec in experiments.items():
-                candidate = _run_with_seed(
-                    benchmark, spec, config, instructions, warmup, base_seed
-                )
-                comparison = compare(baseline, candidate)
-                cell = result.samples[label][benchmark]
-                for metric in METRICS:
-                    cell[metric].append(getattr(comparison, metric))
+    pairs = campaign_cells(experiments, names, seeds, instructions, warmup, config)
+    outcomes = engine.run([cell for _, cell in pairs])
+
+    baselines: Dict[Tuple[int, str], object] = {}
+    for (variant, benchmark, label), outcome in zip(
+        (key for key, _ in pairs), outcomes
+    ):
+        if label is None:
+            baselines[(variant, benchmark)] = outcome
+            continue
+        comparison = compare(baselines[(variant, benchmark)], outcome)
+        cell = result.samples[label][benchmark]
+        for metric in METRICS:
+            cell[metric].append(getattr(comparison, metric))
     return result
-
-
-def _run_with_seed(benchmark, spec, config, instructions, warmup, seed):
-    """run_benchmark with an overridden program seed."""
-    from repro.experiments import runner as runner_mod
-
-    workload = benchmark_spec(benchmark)
-    patched = replace(workload, seed=seed)
-    # Reuse run_benchmark's controller/estimator plumbing with the
-    # reseeded workload by building the pieces it would build.
-    from repro.pipeline.processor import Processor
-
-    controller = runner_mod.make_controller(spec)
-    confidence_kind = runner_mod._confidence_kind_for(spec)
-    if confidence_kind is not None and config.confidence_kind != confidence_kind:
-        config = replace(config, confidence_kind=confidence_kind)
-    program = patched.build_program()
-    processor = Processor(config, program, controller=controller, seed=seed)
-    stats = processor.run(instructions, warmup_instructions=warmup)
-    power = processor.power
-    total_energy = power.total_energy()
-    from repro.experiments.results import SimulationResult
-
-    return SimulationResult(
-        benchmark=benchmark,
-        label=runner_mod._label_of(spec),
-        instructions=stats.committed,
-        cycles=stats.cycles,
-        ipc=stats.ipc,
-        average_power_watts=power.average_power(),
-        energy_joules=total_energy,
-        execution_seconds=power.execution_seconds(),
-        miss_rate=stats.branch_miss_rate,
-        spec_metric=stats.confidence.spec(),
-        pvn_metric=stats.confidence.pvn(),
-        wrong_path_fetch_fraction=stats.wrong_path_fetch_fraction,
-        wasted_energy_fraction=(
-            power.total_wasted_energy() / total_energy if total_energy else 0.0
-        ),
-        breakdown=power.breakdown(),
-    )
 
 
 def format_campaign(

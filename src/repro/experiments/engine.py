@@ -1,0 +1,412 @@
+"""The execution engine: one entry point for every simulation.
+
+Everything in ``experiments/`` that runs a simulation — ``run_benchmark``,
+:class:`~repro.experiments.runner.ExperimentRunner`, ``run_campaign`` and
+the figure drivers — funnels through :func:`simulate`, driven by a
+declarative :class:`SimCell` (benchmark, controller spec, configuration,
+seed, run lengths).  One code path means one set of collected metrics:
+campaign results carry the same ``extra`` throttling counters as single
+runs, and the seed convention is defined in exactly one place.
+
+**Seed convention.** ``SimCell.seed`` is *the* seed of a cell: it drives
+both program generation (the sampled synthetic benchmark) and the
+processor's internal randomness.  ``None`` means "the benchmark's
+calibrated default" (``benchmark_spec(name).seed``).  Campaign seed
+variants therefore regenerate the program *and* reseed the processor from
+the same value — the two legacy paths disagreed on the processor half.
+
+On top of :func:`simulate` the module layers
+
+* :class:`ResultCache` — a content-addressed on-disk JSON cache keyed on
+  :func:`cell_fingerprint` (a SHA-256 over the full cell, including every
+  :class:`~repro.pipeline.config.ProcessorConfig` field), so interrupted
+  campaigns resume and repeated figure runs are near-instant; and
+* :class:`ExecutionEngine` — process-based parallel fan-out over cells via
+  :class:`concurrent.futures.ProcessPoolExecutor` with deterministic
+  result ordering (results always come back in submission order, so a
+  ``jobs=8`` campaign serialises byte-identically to a serial one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gating import PipelineGatingController
+from repro.core.oracle import OracleController, OracleMode
+from repro.core.policy import experiment_policy
+from repro.core.throttler import NullController, SelectiveThrottler, SpeculationController
+from repro.errors import ExperimentError
+from repro.experiments.results import SimulationResult
+from repro.pipeline.config import ProcessorConfig, table3_config
+from repro.pipeline.processor import Processor
+from repro.power.model import ClockGatingStyle
+from repro.workloads.suite import benchmark_spec
+
+ControllerSpec = Tuple
+
+# Bump when the cell fingerprint or the result payload changes shape, so a
+# stale cache directory never feeds old-format entries to new code.
+_CACHE_SCHEMA = 1
+
+
+def default_instructions() -> int:
+    """Measured instructions per run (env: REPRO_SIM_INSTRUCTIONS)."""
+    return int(os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000"))
+
+
+def default_warmup() -> int:
+    """Warm-up instructions per run (env: REPRO_SIM_WARMUP)."""
+    return int(os.environ.get("REPRO_SIM_WARMUP", "10000"))
+
+
+# ----------------------------------------------------------------------
+# Controller plumbing (shared by every entry point)
+# ----------------------------------------------------------------------
+
+def make_controller(spec: ControllerSpec) -> SpeculationController:
+    """Instantiate the speculation controller named by ``spec``."""
+    if not spec or spec[0] == "baseline":
+        return NullController()
+    kind = spec[0]
+    if kind in ("throttle", "throttle-noescalate"):
+        policy = experiment_policy(spec[1])
+        if policy is None:
+            raise ExperimentError(
+                f"experiment {spec[1]!r} is Pipeline Gating; use ('gating', N)"
+            )
+        return SelectiveThrottler(policy, escalate_only=kind == "throttle")
+    if kind == "gating":
+        threshold = spec[1] if len(spec) > 1 else 2
+        return PipelineGatingController(threshold)
+    if kind == "oracle":
+        return OracleController(OracleMode(spec[1]))
+    raise ExperimentError(f"unknown controller spec {spec!r}")
+
+
+def confidence_kind_for(spec: ControllerSpec) -> Optional[str]:
+    """The estimator each mechanism is evaluated with in the paper.
+
+    A third element on a throttle spec overrides the estimator —
+    ``("throttle", "C2", "jrs")`` runs Selective Throttling on JRS labels
+    (the estimator-swap ablation).
+    """
+    kind = spec[0] if spec else "baseline"
+    if kind in ("throttle", "throttle-noescalate"):
+        return spec[2] if len(spec) > 2 else "bpru"
+    if kind == "gating":
+        return "jrs"
+    if kind == "oracle":
+        return "perfect"
+    return None  # baseline: keep whatever the config says
+
+
+def label_of(spec: ControllerSpec) -> str:
+    """The default display label of a controller spec."""
+    kind = spec[0] if spec else "baseline"
+    if kind == "baseline":
+        return "baseline"
+    if kind == "throttle":
+        return spec[1] if len(spec) < 3 else f"{spec[1]}/{spec[2]}"
+    if kind == "throttle-noescalate":
+        return f"{spec[1]}-noesc"
+    if kind == "gating":
+        return f"gating(th={spec[1] if len(spec) > 1 else 2})"
+    if kind == "oracle":
+        return f"oracle-{spec[1]}"
+    return str(spec)
+
+
+# ----------------------------------------------------------------------
+# The simulation cell
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimCell:
+    """Everything that determines one simulation run.
+
+    Two cells with equal fields produce bit-identical results (the
+    simulator is deterministic), which is what makes the on-disk cache
+    and the parallel fan-out safe.  ``label`` is display-only and is
+    deliberately excluded from the fingerprint.
+    """
+
+    benchmark: str
+    controller_spec: ControllerSpec
+    config: ProcessorConfig
+    instructions: int
+    warmup: int
+    seed: Optional[int] = None
+    clock_gating: str = ClockGatingStyle.CC3.value
+    label: Optional[str] = None
+
+    @property
+    def effective_seed(self) -> int:
+        """The cell's seed (program *and* processor; see module docs)."""
+        if self.seed is not None:
+            return self.seed
+        return benchmark_spec(self.benchmark).seed
+
+    @property
+    def effective_label(self) -> str:
+        return self.label or label_of(self.controller_spec)
+
+
+def make_cell(
+    benchmark: str,
+    controller_spec: ControllerSpec = ("baseline",),
+    config: Optional[ProcessorConfig] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seed: Optional[int] = None,
+    clock_gating: str = ClockGatingStyle.CC3.value,
+    label: Optional[str] = None,
+) -> SimCell:
+    """Build a :class:`SimCell`, filling library defaults for blanks."""
+    return SimCell(
+        benchmark=benchmark,
+        controller_spec=tuple(controller_spec),
+        config=config or table3_config(),
+        instructions=instructions or default_instructions(),
+        warmup=default_warmup() if warmup is None else warmup,
+        seed=seed,
+        clock_gating=clock_gating,
+        label=label,
+    )
+
+
+def simulate(cell: SimCell) -> SimulationResult:
+    """Run one cell and collect every measured quantity.
+
+    This is the single execution core: the controller/estimator pairing,
+    the seed convention and the result fields (including the ``extra``
+    throttling counters) are defined here and nowhere else.
+    """
+    seed = cell.effective_seed
+    spec = benchmark_spec(cell.benchmark)
+    if seed != spec.seed:
+        spec = replace(spec, seed=seed)
+    config = cell.config
+    confidence_kind = confidence_kind_for(cell.controller_spec)
+    if confidence_kind is not None and config.confidence_kind != confidence_kind:
+        config = replace(config, confidence_kind=confidence_kind)
+
+    program = spec.build_program()
+    controller = make_controller(cell.controller_spec)
+    processor = Processor(
+        config,
+        program,
+        controller=controller,
+        clock_gating=ClockGatingStyle(cell.clock_gating),
+        seed=seed,
+    )
+    stats = processor.run(cell.instructions, warmup_instructions=cell.warmup)
+    power = processor.power
+
+    total_energy = power.total_energy()
+    wasted_fraction = (
+        power.total_wasted_energy() / total_energy if total_energy else 0.0
+    )
+    return SimulationResult(
+        benchmark=cell.benchmark,
+        label=cell.effective_label,
+        instructions=stats.committed,
+        cycles=stats.cycles,
+        ipc=stats.ipc,
+        average_power_watts=power.average_power(),
+        energy_joules=total_energy,
+        execution_seconds=power.execution_seconds(),
+        miss_rate=stats.branch_miss_rate,
+        spec_metric=stats.confidence.spec(),
+        pvn_metric=stats.confidence.pvn(),
+        wrong_path_fetch_fraction=stats.wrong_path_fetch_fraction,
+        wasted_energy_fraction=wasted_fraction,
+        breakdown=power.breakdown(),
+        extra={
+            "fetch_throttled_cycles": stats.fetch_throttled_cycles,
+            "decode_throttled_cycles": stats.decode_throttled_cycles,
+            "selection_blocked": stats.selection_blocked,
+            "squashed": stats.squashed,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting and result (de)serialisation
+# ----------------------------------------------------------------------
+
+def config_fingerprint(config: ProcessorConfig) -> Tuple:
+    """A hashable fingerprint of every configuration field."""
+    return tuple(sorted(vars(config).items()))
+
+
+def _code_version() -> str:
+    # Imported lazily: repro/__init__ imports this module at package load.
+    from repro import __version__
+
+    return __version__
+
+
+def cell_fingerprint(cell: SimCell) -> str:
+    """A stable content address of a cell (display label excluded).
+
+    Hashes a canonical JSON encoding of the benchmark, controller spec,
+    every ``ProcessorConfig`` field, the effective seed, the clock-gating
+    style, both run lengths and the package version, so any change that
+    could alter the simulation invalidates the cache entry.  Simulator
+    behavior changes must ship with a version bump for a persistent
+    cache directory to notice them.
+    """
+    payload = {
+        "schema": _CACHE_SCHEMA,
+        "version": _code_version(),
+        "benchmark": cell.benchmark,
+        "controller_spec": list(cell.controller_spec),
+        "config": {name: value for name, value in sorted(vars(cell.config).items())},
+        "seed": cell.effective_seed,
+        "clock_gating": cell.clock_gating,
+        "instructions": cell.instructions,
+        "warmup": cell.warmup,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """A JSON-safe dict of every result field."""
+    return {f.name: getattr(result, f.name) for f in fields(SimulationResult)}
+
+
+def result_from_dict(payload: Dict) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    return SimulationResult(**payload)
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed JSON store of simulation results.
+
+    Each entry is ``<cache_dir>/<fingerprint>.json``; the fingerprint is
+    the full :func:`cell_fingerprint`, so two distinct cells can never
+    share an entry and any config change misses cleanly.  Entries are
+    written atomically (write-then-rename) so an interrupted campaign
+    leaves no torn files behind.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def get(self, cell: SimCell) -> Optional[SimulationResult]:
+        """The cached result of ``cell``, relabelled for this request."""
+        path = self._path(cell_fingerprint(cell))
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != _CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        result = result_from_dict(payload["result"])
+        # The label is display-only and not part of the fingerprint.
+        if result.label != cell.effective_label:
+            result = replace(result, label=cell.effective_label)
+        return result
+
+    def put(self, cell: SimCell, result: SimulationResult) -> None:
+        fingerprint = cell_fingerprint(cell)
+        path = self._path(fingerprint)
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "benchmark": cell.benchmark,
+            "controller_spec": list(cell.controller_spec),
+            "result": result_to_dict(result),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+
+class ExecutionEngine:
+    """Runs batches of cells, optionally in parallel and cached.
+
+    ``jobs`` > 1 fans uncached cells out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (the simulator is
+    pure Python, so processes — not threads — buy real parallelism).
+    Results are always returned in submission order regardless of
+    completion order, and ``executed`` counts actual simulations (cache
+    hits excluded), which is what campaign resume tests assert on.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.executed = 0
+
+    def run_cell(self, cell: SimCell) -> SimulationResult:
+        return self.run([cell])[0]
+
+    def run(self, cells: Sequence[SimCell]) -> List[SimulationResult]:
+        """Simulate every cell, returning results in submission order."""
+        results: List[Optional[SimulationResult]] = [None] * len(cells)
+        pending: List[Tuple[int, SimCell]] = []
+        for index, cell in enumerate(cells):
+            cached = self.cache.get(cell) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, cell))
+
+        if pending:
+            todo = [cell for _, cell in pending]
+            if self.jobs > 1 and len(todo) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    simulated = list(pool.map(simulate, todo))
+            else:
+                simulated = [simulate(cell) for cell in todo]
+            for (index, cell), result in zip(pending, simulated):
+                results[index] = result
+                self.executed += 1
+                if self.cache is not None:
+                    self.cache.put(cell, result)
+        return results  # type: ignore[return-value]
+
+
+def build_engine(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+) -> ExecutionEngine:
+    """An engine with an optional directory-backed result cache."""
+    if cache is None and cache_dir:
+        cache = ResultCache(cache_dir)
+    return ExecutionEngine(jobs=jobs, cache=cache)

@@ -60,6 +60,15 @@ def _run_figure(
     runner = runner or ExperimentRunner()
     benchmarks = list(benchmarks or BENCHMARK_NAMES)
     figure = FigureResult(name)
+    # Warm the runner's memo in one engine batch: with jobs > 1 every
+    # (benchmark x mechanism) cell of the figure simulates in parallel.
+    requests = [(benchmark, ("baseline",)) for benchmark in benchmarks]
+    requests += [
+        (benchmark, spec)
+        for spec in experiments.values()
+        for benchmark in benchmarks
+    ]
+    runner.prefetch(requests)
     for label, spec in experiments.items():
         row: Dict[str, ComparisonResult] = {}
         for benchmark in benchmarks:
@@ -113,6 +122,8 @@ def figure6(
     depths: Sequence[int] = (6, 10, 14, 20, 24, 28),
     instructions: Optional[int] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[int, Dict[str, float]]:
     """Pipeline-depth sweep of the best experiment C2 (paper Figure 6).
 
@@ -122,7 +133,9 @@ def figure6(
     results: Dict[int, Dict[str, float]] = {}
     for depth in depths:
         config = table3_config().with_depth(depth)
-        runner = ExperimentRunner(config=config, instructions=instructions)
+        runner = ExperimentRunner(
+            config=config, instructions=instructions, jobs=jobs, cache=cache
+        )
         figure = _run_figure(
             f"figure6-depth{depth}", {"C2": ("throttle", "C2")}, runner, benchmarks
         )
@@ -134,6 +147,8 @@ def figure7(
     total_sizes_kb: Sequence[int] = (8, 16, 32, 64),
     instructions: Optional[int] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[int, Dict[str, float]]:
     """Predictor+estimator size sweep of C2 (paper Figure 7).
 
@@ -144,7 +159,9 @@ def figure7(
     results: Dict[int, Dict[str, float]] = {}
     for total_kb in total_sizes_kb:
         config = table3_config().with_table_sizes(total_kb)
-        runner = ExperimentRunner(config=config, instructions=instructions)
+        runner = ExperimentRunner(
+            config=config, instructions=instructions, jobs=jobs, cache=cache
+        )
         figure = _run_figure(
             f"figure7-size{total_kb}", {"C2": ("throttle", "C2")}, runner, benchmarks
         )

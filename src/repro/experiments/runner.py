@@ -13,9 +13,11 @@ A :class:`ControllerSpec` names one mechanism:
   selects the JRS estimator at MDC threshold 12, as the paper does);
 * ``("oracle", "fetch"|"decode"|"select")`` — the Figure 1 limit studies.
 
-The :class:`ExperimentRunner` memoises baseline runs per (benchmark,
-configuration, run length), since every figure compares many mechanisms
-against the same baseline.
+Execution itself lives in :mod:`repro.experiments.engine` — this module
+is the convenience layer: :func:`run_benchmark` for one-off runs and
+:class:`ExperimentRunner`, which memoises results per full cell
+fingerprint (every figure compares many mechanisms against the same
+baseline) and can fan batches out across processes via the engine.
 
 Run lengths default to :func:`default_instructions` /
 :func:`default_warmup`, overridable with the environment variables
@@ -25,68 +27,29 @@ higher-fidelity (slower) reproductions.
 
 from __future__ import annotations
 
-import os
-from dataclasses import replace
-from typing import Dict, Optional, Tuple
+from dataclasses import replace as dc_replace
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.gating import PipelineGatingController
-from repro.core.oracle import OracleController, OracleMode
-from repro.core.policy import experiment_policy
-from repro.core.throttler import NullController, SelectiveThrottler, SpeculationController
-from repro.errors import ExperimentError
+from repro.experiments.engine import (
+    ControllerSpec,
+    ExecutionEngine,
+    ResultCache,
+    SimCell,
+    config_fingerprint,
+    confidence_kind_for,
+    default_instructions,
+    default_warmup,
+    label_of,
+    make_cell,
+    make_controller,
+    simulate,
+)
 from repro.experiments.results import SimulationResult
 from repro.pipeline.config import ProcessorConfig, table3_config
-from repro.pipeline.processor import Processor
-from repro.workloads.suite import benchmark_spec
 
-ControllerSpec = Tuple
-
-
-def default_instructions() -> int:
-    """Measured instructions per run (env: REPRO_SIM_INSTRUCTIONS)."""
-    return int(os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000"))
-
-
-def default_warmup() -> int:
-    """Warm-up instructions per run (env: REPRO_SIM_WARMUP)."""
-    return int(os.environ.get("REPRO_SIM_WARMUP", "10000"))
-
-
-def make_controller(spec: ControllerSpec) -> SpeculationController:
-    """Instantiate the speculation controller named by ``spec``."""
-    if not spec or spec[0] == "baseline":
-        return NullController()
-    kind = spec[0]
-    if kind in ("throttle", "throttle-noescalate"):
-        policy = experiment_policy(spec[1])
-        if policy is None:
-            raise ExperimentError(
-                f"experiment {spec[1]!r} is Pipeline Gating; use ('gating', N)"
-            )
-        return SelectiveThrottler(policy, escalate_only=kind == "throttle")
-    if kind == "gating":
-        threshold = spec[1] if len(spec) > 1 else 2
-        return PipelineGatingController(threshold)
-    if kind == "oracle":
-        return OracleController(OracleMode(spec[1]))
-    raise ExperimentError(f"unknown controller spec {spec!r}")
-
-
-def _confidence_kind_for(spec: ControllerSpec) -> Optional[str]:
-    """The estimator each mechanism is evaluated with in the paper.
-
-    A third element on a throttle spec overrides the estimator —
-    ``("throttle", "C2", "jrs")`` runs Selective Throttling on JRS labels
-    (the estimator-swap ablation).
-    """
-    kind = spec[0] if spec else "baseline"
-    if kind in ("throttle", "throttle-noescalate"):
-        return spec[2] if len(spec) > 2 else "bpru"
-    if kind == "gating":
-        return "jrs"
-    if kind == "oracle":
-        return "perfect"
-    return None  # baseline: keep whatever the config says
+# Backwards-compatible aliases (pre-engine private names).
+_confidence_kind_for = confidence_kind_for
+_label_of = label_of
 
 
 def run_benchmark(
@@ -96,83 +59,78 @@ def run_benchmark(
     instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     label: Optional[str] = None,
+    seed: Optional[int] = None,
+    clock_gating: str = "cc3",
 ) -> SimulationResult:
-    """Simulate one benchmark under one mechanism and collect results."""
-    spec = benchmark_spec(benchmark)
-    config = config or table3_config()
-    confidence_kind = _confidence_kind_for(controller_spec)
-    if confidence_kind is not None and config.confidence_kind != confidence_kind:
-        config = replace(config, confidence_kind=confidence_kind)
-    instructions = instructions or default_instructions()
-    warmup = default_warmup() if warmup is None else warmup
+    """Simulate one benchmark under one mechanism and collect results.
 
-    program = spec.build_program()
-    controller = make_controller(controller_spec)
-    processor = Processor(config, program, controller=controller, seed=spec.seed)
-    stats = processor.run(instructions, warmup_instructions=warmup)
-    power = processor.power
-
-    total_energy = power.total_energy()
-    wasted_fraction = (
-        power.total_wasted_energy() / total_energy if total_energy else 0.0
+    ``seed`` overrides the benchmark's calibrated program seed; it drives
+    both program generation and the processor (the engine's single seed
+    convention).
+    """
+    return simulate(
+        make_cell(
+            benchmark,
+            controller_spec,
+            config=config,
+            instructions=instructions,
+            warmup=warmup,
+            seed=seed,
+            clock_gating=clock_gating,
+            label=label,
+        )
     )
-    return SimulationResult(
-        benchmark=benchmark,
-        label=label or _label_of(controller_spec),
-        instructions=stats.committed,
-        cycles=stats.cycles,
-        ipc=stats.ipc,
-        average_power_watts=power.average_power(),
-        energy_joules=total_energy,
-        execution_seconds=power.execution_seconds(),
-        miss_rate=stats.branch_miss_rate,
-        spec_metric=stats.confidence.spec(),
-        pvn_metric=stats.confidence.pvn(),
-        wrong_path_fetch_fraction=stats.wrong_path_fetch_fraction,
-        wasted_energy_fraction=wasted_fraction,
-        breakdown=power.breakdown(),
-        extra={
-            "fetch_throttled_cycles": stats.fetch_throttled_cycles,
-            "decode_throttled_cycles": stats.decode_throttled_cycles,
-            "selection_blocked": stats.selection_blocked,
-            "squashed": stats.squashed,
-        },
-    )
-
-
-def _label_of(spec: ControllerSpec) -> str:
-    kind = spec[0] if spec else "baseline"
-    if kind == "baseline":
-        return "baseline"
-    if kind == "throttle":
-        return spec[1] if len(spec) < 3 else f"{spec[1]}/{spec[2]}"
-    if kind == "throttle-noescalate":
-        return f"{spec[1]}-noesc"
-    if kind == "gating":
-        return f"gating(th={spec[1] if len(spec) > 1 else 2})"
-    if kind == "oracle":
-        return f"oracle-{spec[1]}"
-    return str(spec)
 
 
 def _config_key(config: ProcessorConfig) -> Tuple:
     """A hashable fingerprint of everything that affects a run."""
-    return tuple(sorted(vars(config).items()))
+    return config_fingerprint(config)
 
 
 class ExperimentRunner:
-    """Runs (benchmark x mechanism) simulations with baseline memoisation."""
+    """Runs (benchmark x mechanism) simulations with baseline memoisation.
+
+    ``jobs`` and ``cache`` configure the underlying
+    :class:`~repro.experiments.engine.ExecutionEngine`: batches submitted
+    through :meth:`prefetch` fan out over processes, and an on-disk
+    :class:`~repro.experiments.engine.ResultCache` persists results
+    across interpreter restarts.
+    """
 
     def __init__(
         self,
         config: Optional[ProcessorConfig] = None,
         instructions: Optional[int] = None,
         warmup: Optional[int] = None,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.config = config or table3_config()
         self.instructions = instructions or default_instructions()
         self.warmup = default_warmup() if warmup is None else warmup
+        self.engine = ExecutionEngine(jobs=jobs, cache=cache)
         self._cache: Dict[Tuple, SimulationResult] = {}
+
+    def _cell(
+        self,
+        benchmark: str,
+        controller_spec: ControllerSpec,
+        config: Optional[ProcessorConfig],
+        label: Optional[str] = None,
+    ) -> SimCell:
+        return make_cell(
+            benchmark,
+            controller_spec,
+            config=config or self.config,
+            instructions=self.instructions,
+            warmup=self.warmup,
+            label=label,
+        )
+
+    def _key(self, cell: SimCell) -> Tuple:
+        return (cell.benchmark, cell.controller_spec, _config_key(cell.config),
+                cell.instructions, cell.warmup, cell.effective_seed,
+                cell.clock_gating)
 
     def run(
         self,
@@ -182,22 +140,43 @@ class ExperimentRunner:
         label: Optional[str] = None,
     ) -> SimulationResult:
         """Run one simulation (memoised on its full fingerprint)."""
-        config = config or self.config
-        key = (benchmark, controller_spec, _config_key(config),
-               self.instructions, self.warmup)
+        # The memo always holds the default-labelled result; custom labels
+        # are applied to copies so they never leak into later lookups.
+        cell = self._cell(benchmark, controller_spec, config)
+        key = self._key(cell)
         cached = self._cache.get(key)
-        if cached is not None:
-            return cached if label is None else replace_label(cached, label)
-        result = run_benchmark(
-            benchmark,
-            controller_spec,
-            config=config,
-            instructions=self.instructions,
-            warmup=self.warmup,
-            label=label,
-        )
-        self._cache[key] = result
-        return result
+        if cached is None:
+            cached = self.engine.run_cell(cell)
+            self._cache[key] = cached
+        return cached if label is None else replace_label(cached, label)
+
+    def prefetch(
+        self,
+        requests: Iterable[Tuple[str, ControllerSpec]],
+        config: Optional[ProcessorConfig] = None,
+    ) -> List[SimulationResult]:
+        """Run a batch of (benchmark, spec) cells through the engine.
+
+        Uncached cells run in one engine batch — in parallel when the
+        runner was built with ``jobs`` > 1 — and land in the memo, so
+        subsequent :meth:`run` calls on the same cells are free.  Results
+        come back in request order.
+        """
+        cells = [self._cell(b, spec, config) for b, spec in requests]
+        out: List[Optional[SimulationResult]] = [None] * len(cells)
+        pending: List[Tuple[int, SimCell]] = []
+        for index, cell in enumerate(cells):
+            hit = self._cache.get(self._key(cell))
+            if hit is not None:
+                out[index] = hit
+            else:
+                pending.append((index, cell))
+        if pending:
+            fresh = self.engine.run([cell for _, cell in pending])
+            for (index, cell), result in zip(pending, fresh):
+                self._cache[self._key(cell)] = result
+                out[index] = result
+        return out  # type: ignore[return-value]
 
     def baseline(self, benchmark: str, config: Optional[ProcessorConfig] = None):
         """The memoised baseline run of a benchmark."""
@@ -206,6 +185,4 @@ class ExperimentRunner:
 
 def replace_label(result: SimulationResult, label: str) -> SimulationResult:
     """Copy a result under a different display label."""
-    from dataclasses import replace as dc_replace
-
     return dc_replace(result, label=label)

@@ -8,10 +8,36 @@ from repro.errors import ExperimentError
 from repro.experiments.campaign import (
     CampaignResult,
     MetricSummary,
+    _t_critical,
     format_campaign,
     run_campaign,
     summarize,
 )
+
+
+def test_t_table_covers_moderate_sample_sizes():
+    # dof 11-30 used to fall back to z=1.960, understating the intervals
+    # of 12-31 seed campaigns.  Pin the dof=15 critical value exactly.
+    assert _t_critical(15) == 2.131
+    assert _t_critical(30) == 2.042
+    # Past the table the normal approximation takes over.
+    assert _t_critical(31) == 1.960
+
+
+def test_t_table_decreases_toward_z():
+    values = [_t_critical(dof) for dof in range(1, 31)]
+    assert values == sorted(values, reverse=True)
+    assert all(value > 1.960 for value in values)
+
+
+def test_summarize_uses_t_not_z_at_dof_15():
+    # 16 samples, sample sd 8: half width = t(15) * 8 / 4 = 4.262, whereas
+    # the old z fallback produced 3.92.
+    values = [0.0, 16.0] * 8
+    summary = summarize(values)
+    sd = summary.stddev
+    assert summary.half_width == pytest.approx(2.131 * sd / 4)
+    assert summary.half_width > 1.960 * sd / 4
 
 
 def test_summarize_single_sample_has_zero_width():

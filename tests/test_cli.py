@@ -46,6 +46,60 @@ def test_unknown_benchmark_subset_rejected():
         main(["figure1", "--benchmarks", "nonexistent"])
 
 
+def test_campaign_command_with_cache_and_jobs(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    save_path = tmp_path / "campaign.json"
+    argv = [
+        "campaign", "A5",
+        "--benchmarks", "gzip",
+        "--seeds", "2",
+        "--instructions", "1200",
+        "--jobs", "2",
+        "--cache-dir", str(cache_dir),
+        "--save", str(save_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "A5" in out
+    assert "±" in out
+    cached_entries = list(cache_dir.glob("*.json"))
+    assert len(cached_entries) == 4  # 2 seeds x (baseline + A5)
+    first = save_path.read_text()
+
+    # Warm rerun: byte-identical output from the cache alone.
+    assert main(argv) == 0
+    assert save_path.read_text() == first
+    assert len(list(cache_dir.glob("*.json"))) == 4
+
+
+def test_campaign_command_requires_an_experiment():
+    with pytest.raises(SystemExit):
+        main(["campaign"])
+
+
+def test_run_command_with_cache_dir(tmp_path, capsys):
+    argv = [
+        "run", "go", "C2",
+        "--instructions", "1200", "--warmup", "300",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    assert "speedup" in capsys.readouterr().out
+    assert list((tmp_path / "cache").glob("*.json"))
+
+
+def test_no_cache_flag_disables_the_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "run", "go", "C2",
+        "--instructions", "1200", "--warmup", "300",
+        "--cache-dir", str(cache_dir), "--no-cache",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert not cache_dir.exists() or not list(cache_dir.glob("*.json"))
+
+
 def test_figure1_with_export(tmp_path, capsys):
     csv_path = tmp_path / "fig1.csv"
     json_path = tmp_path / "fig1.json"

@@ -1,0 +1,282 @@
+"""The unified execution engine: one simulation path, cached and parallel.
+
+Covers the regressions the engine was built to kill:
+
+* campaign runs silently dropping the ``extra`` throttling counters that
+  single runs carry;
+* the runner and the campaign disagreeing on which seed the processor
+  gets when a program seed is overridden;
+
+plus the cache fingerprint (no collisions, config changes invalidate) and
+the two scaling contracts: parallel campaigns serialise byte-identically
+to serial ones, and a warm cache performs zero new simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+
+import pytest
+
+from repro.experiments.campaign import campaign_cells, run_campaign
+from repro.experiments.engine import (
+    ExecutionEngine,
+    ResultCache,
+    build_engine,
+    cell_fingerprint,
+    make_cell,
+    result_from_dict,
+    result_to_dict,
+    simulate,
+)
+from repro.experiments.results import SimulationResult
+from repro.experiments.runner import ExperimentRunner, _config_key, run_benchmark
+from repro.pipeline.config import table3_config
+from repro.workloads.suite import benchmark_spec
+
+_INSTRUCTIONS = 1_200
+_WARMUP = 300
+
+_EXTRA_KEYS = (
+    "fetch_throttled_cycles",
+    "decode_throttled_cycles",
+    "selection_blocked",
+    "squashed",
+)
+
+
+def _cell(**overrides):
+    defaults = dict(
+        benchmark="gzip",
+        controller_spec=("throttle", "A5"),
+        instructions=_INSTRUCTIONS,
+        warmup=_WARMUP,
+    )
+    defaults.update(overrides)
+    return make_cell(**defaults)
+
+
+@pytest.fixture(scope="module")
+def throttled_result():
+    return simulate(_cell())
+
+
+# --- one execution path for every entry point --------------------------------
+
+def test_runner_and_engine_results_are_identical(throttled_result):
+    via_runner = run_benchmark(
+        "gzip", ("throttle", "A5"),
+        instructions=_INSTRUCTIONS, warmup=_WARMUP,
+    )
+    assert via_runner == throttled_result
+
+
+def test_campaign_cells_match_run_benchmark_field_for_field():
+    # The historical bug: the campaign's private copy of run_benchmark
+    # dropped `extra` and reseeded only half the simulation.  Every cell a
+    # campaign enumerates must now equal run_benchmark on the same cell.
+    pairs = campaign_cells(
+        {"A5": ("throttle", "A5")}, ["gzip"], seeds=1,
+        instructions=_INSTRUCTIONS, warmup=_WARMUP, config=table3_config(),
+    )
+    for (variant, benchmark, label), cell in pairs:
+        via_campaign_path = simulate(cell)
+        via_runner = run_benchmark(
+            benchmark, cell.controller_spec,
+            instructions=_INSTRUCTIONS, warmup=_WARMUP,
+            seed=cell.seed, label=label,
+        )
+        for spec_field in fields(SimulationResult):
+            assert getattr(via_campaign_path, spec_field.name) == getattr(
+                via_runner, spec_field.name
+            ), spec_field.name
+
+
+def test_throttled_results_carry_extra_counters(throttled_result):
+    for key in _EXTRA_KEYS:
+        assert key in throttled_result.extra
+    assert throttled_result.extra["squashed"] > 0
+
+
+def test_seed_override_is_bit_identical_across_entry_points():
+    # One seed convention: the override drives the program *and* the
+    # processor, whichever door the simulation enters through.
+    seed = benchmark_spec("gzip").seed + 1000
+    direct = simulate(_cell(seed=seed))
+    convenience = run_benchmark(
+        "gzip", ("throttle", "A5"),
+        instructions=_INSTRUCTIONS, warmup=_WARMUP, seed=seed,
+    )
+    assert direct == convenience
+    assert direct != simulate(_cell())  # and the override really reseeds
+
+
+def test_default_seed_is_the_calibrated_benchmark_seed():
+    assert _cell().effective_seed == benchmark_spec("gzip").seed
+    assert _cell(seed=7).effective_seed == 7
+
+
+# --- fingerprints ------------------------------------------------------------
+
+def test_fingerprint_distinguishes_every_cell_dimension():
+    base = _cell()
+    variants = [
+        _cell(benchmark="go"),
+        _cell(controller_spec=("throttle", "A6")),
+        _cell(controller_spec=("gating", 2)),
+        _cell(instructions=_INSTRUCTIONS + 1),
+        _cell(warmup=_WARMUP + 1),
+        _cell(seed=1),
+        _cell(clock_gating="cc0"),
+        _cell(config=replace(table3_config(), mshr_count=2)),
+        _cell(config=table3_config().with_depth(20)),
+        # (not 16 KB: 8+8 KB *is* the Table 3 baseline split)
+        _cell(config=table3_config().with_table_sizes(32)),
+    ]
+    prints = [cell_fingerprint(cell) for cell in [base] + variants]
+    assert len(set(prints)) == len(prints)
+
+
+def test_fingerprint_changes_with_package_version(monkeypatch):
+    # A persistent cache directory must not serve results computed by a
+    # different simulator version.
+    import repro
+
+    before = cell_fingerprint(_cell())
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    assert cell_fingerprint(_cell()) != before
+
+
+def test_fingerprint_ignores_display_label():
+    assert cell_fingerprint(_cell()) == cell_fingerprint(_cell(label="pretty"))
+
+
+def test_fingerprint_ignores_explicit_default_seed():
+    default = benchmark_spec("gzip").seed
+    assert cell_fingerprint(_cell()) == cell_fingerprint(_cell(seed=default))
+
+
+def test_config_key_never_collides_across_distinct_configs():
+    configs = [table3_config()]
+    for depth in (8, 20, 24):
+        configs.append(table3_config().with_depth(depth))
+    for kb in (32, 64):
+        configs.append(table3_config().with_table_sizes(kb))
+    configs.append(replace(table3_config(), mshr_count=2))
+    configs.append(replace(table3_config(), confidence_kind="jrs"))
+    assert len({_config_key(config) for config in configs}) == len(configs)
+
+
+def test_config_key_equal_for_equivalent_configs():
+    # Sweeps that land back on the baseline must share its key, or the
+    # runner would re-simulate identical machines.
+    assert _config_key(table3_config().with_depth(14)) == _config_key(table3_config())
+    assert _config_key(table3_config().with_table_sizes(16)) == _config_key(
+        table3_config()
+    )
+
+
+# --- the on-disk cache -------------------------------------------------------
+
+def test_result_dict_round_trip(throttled_result):
+    assert result_from_dict(result_to_dict(throttled_result)) == throttled_result
+
+
+def test_cache_round_trip_and_counters(tmp_path, throttled_result):
+    cache = ResultCache(str(tmp_path))
+    cell = _cell()
+    assert cache.get(cell) is None
+    cache.put(cell, throttled_result)
+    assert cache.get(cell) == throttled_result
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+
+def test_cache_relabels_display_only(tmp_path, throttled_result):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_cell(), throttled_result)
+    relabelled = cache.get(_cell(label="renamed"))
+    assert relabelled.label == "renamed"
+    assert replace(relabelled, label=throttled_result.label) == throttled_result
+
+
+def test_changed_config_field_invalidates_cache_entry(tmp_path, throttled_result):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_cell(), throttled_result)
+    changed = _cell(config=replace(table3_config(), mshr_count=2))
+    assert cache.get(changed) is None
+    assert cache.misses == 1
+
+
+# --- the engine --------------------------------------------------------------
+
+def test_engine_preserves_submission_order():
+    engine = ExecutionEngine()
+    cells = [_cell(controller_spec=("baseline",)), _cell()]
+    results = engine.run(cells)
+    assert [r.label for r in results] == ["baseline", "A5"]
+    assert engine.executed == 2
+
+
+def test_engine_rejects_zero_jobs():
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        ExecutionEngine(jobs=0)
+
+
+def test_runner_memo_does_not_leak_custom_labels():
+    runner = ExperimentRunner(instructions=_INSTRUCTIONS, warmup=_WARMUP)
+    labelled = runner.run("gzip", ("throttle", "A5"), label="pretty")
+    assert labelled.label == "pretty"
+    assert runner.run("gzip", ("throttle", "A5")).label == "A5"
+    assert runner.engine.executed == 1  # same memo entry served both
+
+
+def test_runner_prefetch_warms_the_memo():
+    runner = ExperimentRunner(instructions=_INSTRUCTIONS, warmup=_WARMUP)
+    results = runner.prefetch([("gzip", ("baseline",)), ("gzip", ("throttle", "A5"))])
+    assert [r.label for r in results] == ["baseline", "A5"]
+    assert runner.engine.executed == 2
+    runner.baseline("gzip")
+    runner.run("gzip", ("throttle", "A5"))
+    assert runner.engine.executed == 2  # both served from the memo
+
+
+# --- campaign scaling contracts ----------------------------------------------
+
+@pytest.fixture(scope="module")
+def campaign_kwargs():
+    return dict(
+        experiments={"A5": ("throttle", "A5")},
+        benchmarks=("gzip",),
+        seeds=2,
+        instructions=_INSTRUCTIONS,
+        name="engine-test",
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_campaign(campaign_kwargs):
+    return run_campaign(**campaign_kwargs)
+
+
+def test_parallel_campaign_is_byte_identical_to_serial(
+    serial_campaign, campaign_kwargs
+):
+    parallel = run_campaign(jobs=2, **campaign_kwargs)
+    assert parallel.to_json() == serial_campaign.to_json()
+
+
+def test_warm_cache_campaign_simulates_nothing(
+    tmp_path, serial_campaign, campaign_kwargs
+):
+    cold = build_engine(cache_dir=str(tmp_path))
+    first = run_campaign(engine=cold, **campaign_kwargs)
+    assert cold.executed == 4  # 2 seeds x (baseline + A5)
+    assert cold.cache.hits == 0
+
+    warm = build_engine(cache_dir=str(tmp_path))
+    second = run_campaign(engine=warm, **campaign_kwargs)
+    assert warm.executed == 0
+    assert warm.cache.hits == 4
+    assert second.to_json() == first.to_json() == serial_campaign.to_json()
