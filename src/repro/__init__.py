@@ -13,7 +13,12 @@ The package provides, from scratch:
   oracle limit studies (:mod:`repro.core`),
 * eight synthetic SPECint-like benchmarks calibrated to the paper's
   Table 2 (:mod:`repro.workloads`),
-* drivers regenerating every table and figure (:mod:`repro.experiments`).
+* drivers regenerating every table and figure (:mod:`repro.experiments`),
+* an N-thread SMT core with pluggable fetch policies — round-robin,
+  ICOUNT, and confidence-driven thread fetch gating (the paper's
+  throttling levels applied to thread selection) — evaluated on named
+  multi-program mixes with weighted-speedup and harmonic-fairness
+  reporting (:mod:`repro.smt`, CLI command ``smt``).
 
 Quickstart::
 
@@ -23,6 +28,14 @@ Quickstart::
     baseline = runner.baseline("go")
     throttled = runner.run("go", ("throttle", "C2"))
     print(compare(baseline, throttled))
+
+SMT mixes run through the same execution engine::
+
+    from repro import build_engine, make_smt_cell, smt_baseline_cells
+
+    engine = build_engine(jobs=4, cache_dir="~/.cache/repro")
+    cell = make_smt_cell("mix2-branchy", policy="confidence-gating")
+    mix_result, *alone = engine.run([cell] + smt_baseline_cells(cell))
 """
 
 from repro.bpred import GSharePredictor
@@ -57,14 +70,31 @@ from repro.experiments.engine import (
     ExecutionEngine,
     ResultCache,
     SimCell,
+    SmtCell,
     build_engine,
     make_cell,
+    make_smt_cell,
     simulate,
+    simulate_smt,
+    smt_baseline_cells,
 )
 from repro.experiments.results import ComparisonResult, SimulationResult, compare
 from repro.experiments.runner import ExperimentRunner, make_controller, run_benchmark
 from repro.pipeline import Processor, ProcessorConfig, table3_config
 from repro.power import ClockGatingStyle, PowerModel, PowerUnit, default_unit_powers
+from repro.smt import (
+    MIX_NAMES,
+    POLICY_NAMES,
+    ConfidenceGatingPolicy,
+    ICountPolicy,
+    RoundRobinPolicy,
+    SmtProcessor,
+    SmtResult,
+    harmonic_fairness,
+    make_fetch_policy,
+    mix_spec,
+    weighted_speedup,
+)
 from repro.workloads import BENCHMARK_NAMES, benchmark_program, benchmark_spec, load_suite
 
 __version__ = "1.0.0"
@@ -117,6 +147,22 @@ __all__ = [
     "build_engine",
     "CampaignResult",
     "run_campaign",
+    # SMT
+    "SmtProcessor",
+    "SmtResult",
+    "SmtCell",
+    "make_smt_cell",
+    "simulate_smt",
+    "smt_baseline_cells",
+    "RoundRobinPolicy",
+    "ICountPolicy",
+    "ConfidenceGatingPolicy",
+    "make_fetch_policy",
+    "POLICY_NAMES",
+    "MIX_NAMES",
+    "mix_spec",
+    "weighted_speedup",
+    "harmonic_fairness",
     # errors
     "ReproError",
     "ConfigurationError",

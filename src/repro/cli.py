@@ -41,10 +41,18 @@ from repro.experiments.ablations import (
     mshr_sensitivity,
 )
 from repro.experiments.campaign import format_campaign, run_campaign
-from repro.experiments.engine import ResultCache, build_engine
+from repro.experiments.engine import (
+    ResultCache,
+    build_engine,
+    make_smt_cell,
+    smt_baseline_cells,
+)
 from repro.experiments.runner import ExperimentRunner, run_benchmark
 from repro.report.ascii import figure_bars, sweep_lines
 from repro.report.export import figure_to_csv, figure_to_json
+from repro.report.smt import format_smt_report
+from repro.smt.mixes import MIX_NAMES, load_mixes
+from repro.smt.policies import POLICY_NAMES
 from repro.workloads.suite import BENCHMARK_NAMES
 
 _BAR_METRICS = {
@@ -64,8 +72,19 @@ _FIGURES = {
 _COMMANDS = (
     "list", "table1", "table2", "table3",
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "run", "ablations", "campaign",
+    "run", "ablations", "campaign", "smt",
 )
+
+
+def _bar_metric(name: str) -> str:
+    """Resolve a ``--bars`` metric name, failing with the valid choices."""
+    try:
+        return _BAR_METRICS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown --bars metric {name!r}; "
+            f"valid choices: {', '.join(sorted(_BAR_METRICS))}"
+        ) from None
 
 
 def _make_parser() -> argparse.ArgumentParser:
@@ -117,6 +136,22 @@ def _make_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--save", default=None, help="write campaign results to a JSON file"
     )
+    parser.add_argument(
+        "--mix", default=None,
+        help=f"SMT workload mix (smt only; one of: {', '.join(MIX_NAMES)})",
+    )
+    parser.add_argument(
+        "--policy", choices=POLICY_NAMES, default="confidence-gating",
+        help="SMT fetch policy (smt only; default: confidence-gating)",
+    )
+    parser.add_argument(
+        "--sharing", choices=("partitioned", "shared"), default="partitioned",
+        help="SMT back-end capacity mode (smt only; default: partitioned)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed of an SMT mix (smt only; default: the mix's seed)",
+    )
     return parser
 
 
@@ -134,7 +169,7 @@ def _emit_figure(figure, options) -> None:
     print(fig_mod.format_figure(figure))
     if options.bars:
         print()
-        print(figure_bars(figure, _BAR_METRICS[options.bars]))
+        print(figure_bars(figure, _bar_metric(options.bars)))
     if options.csv:
         with open(options.csv, "w") as handle:
             handle.write(figure_to_csv(figure))
@@ -153,7 +188,10 @@ def _cmd_list() -> None:
     print("  ablations                   — estimator swap, escalation rule,")
     print("                                gating threshold, cc styles, MSHRs")
     print("  campaign EXP [EXP ...]      — multi-seed sweep with 95% intervals")
+    print("  smt --mix NAME              — SMT multi-program mix (per-thread IPC,")
+    print("                                weighted speedup, fairness, EPI)")
     print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
+    print(f"mixes: {', '.join(MIX_NAMES)} (policies: {', '.join(POLICY_NAMES)})")
     print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
     print("scaling: --jobs N (parallel processes), --cache-dir DIR (resume)")
 
@@ -203,6 +241,31 @@ def _cmd_ablations(options, runner: ExperimentRunner, benchmarks) -> None:
             f"  mshr={count:2d}: baseline IPC {row['baseline_ipc']:.2f}, "
             f"oracle-fetch speedup {row['oracle_fetch_speedup']:.3f}"
         )
+
+
+def _cmd_smt(options, cache: Optional[ResultCache]) -> None:
+    if not options.mix:
+        print("usage: repro smt --mix NAME [--policy P] [--sharing M] [--seed N]")
+        print("mixes:")
+        for mix in load_mixes().values():
+            print(
+                f"  {mix.name:<14s} {len(mix.benchmarks)} threads: "
+                f"{', '.join(mix.benchmarks)} — {mix.description}"
+            )
+        raise SystemExit(2)
+    cell = make_smt_cell(
+        options.mix,
+        policy=options.policy,
+        sharing=options.sharing,
+        instructions=options.instructions,
+        warmup=options.warmup,
+        seed=options.seed,
+    )
+    engine = build_engine(jobs=options.jobs, cache=cache)
+    # One batch: the mix plus its single-threaded references, all through
+    # the same fan-out and content-addressed cache.
+    results = engine.run([cell] + smt_baseline_cells(cell))
+    print(format_smt_report(results[0], results[1:]))
 
 
 def _experiment_spec(name: str) -> tuple:
@@ -269,7 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(fig_mod.format_sweep("figure6 (C2)", sweep, "depth"))
         if options.bars:
             print()
-            print(sweep_lines(sweep, (_BAR_METRICS[options.bars],), x_label="depth"))
+            print(sweep_lines(sweep, (_bar_metric(options.bars),), x_label="depth"))
     elif command == "figure7":
         sweep = fig_mod.figure7(
             instructions=options.instructions, benchmarks=benchmarks,
@@ -278,13 +341,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(fig_mod.format_sweep("figure7 (C2)", sweep, "total KB"))
         if options.bars:
             print()
-            print(sweep_lines(sweep, (_BAR_METRICS[options.bars],), x_label="KB"))
+            print(sweep_lines(sweep, (_bar_metric(options.bars),), x_label="KB"))
     elif command == "run":
         _cmd_run(options, runner)
     elif command == "ablations":
         _cmd_ablations(options, runner, benchmarks)
     elif command == "campaign":
         _cmd_campaign(options, cache, benchmarks)
+    elif command == "smt":
+        _cmd_smt(options, cache)
     return 0
 
 

@@ -45,6 +45,15 @@ from repro.experiments.results import SimulationResult
 from repro.pipeline.config import ProcessorConfig, table3_config
 from repro.pipeline.processor import Processor
 from repro.power.model import ClockGatingStyle
+from repro.smt.core import SmtProcessor
+from repro.smt.metrics import (
+    SmtResult,
+    collect_smt_result,
+    smt_result_from_dict,
+    smt_result_to_dict,
+)
+from repro.smt.mixes import mix_spec
+from repro.smt.policies import make_fetch_policy
 from repro.workloads.suite import benchmark_spec
 
 ControllerSpec = Tuple
@@ -236,6 +245,106 @@ def simulate(cell: SimCell) -> SimulationResult:
 
 
 # ----------------------------------------------------------------------
+# The SMT mix cell
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SmtCell:
+    """Everything that determines one SMT multi-program simulation.
+
+    ``instructions``/``warmup`` are *per thread* (the SMT core runs until
+    every thread reaches the target).  ``seed`` is the mix's base seed
+    (``None`` means the mix's default); per-thread program seeds derive
+    from it via :func:`repro.utils.rng.derive_thread_seed`, so one integer
+    reproduces the whole mix and its single-threaded reference runs.
+    """
+
+    mix: str
+    config: ProcessorConfig
+    instructions: int
+    warmup: int
+    policy: str = "confidence-gating"
+    sharing: str = "partitioned"
+    seed: Optional[int] = None
+    clock_gating: str = ClockGatingStyle.CC3.value
+
+    @property
+    def effective_seed(self) -> int:
+        """The mix's base seed (explicit, or the mix default)."""
+        if self.seed is not None:
+            return self.seed
+        return mix_spec(self.mix).seed
+
+
+def make_smt_cell(
+    mix: str,
+    policy: str = "confidence-gating",
+    sharing: str = "partitioned",
+    config: Optional[ProcessorConfig] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seed: Optional[int] = None,
+    clock_gating: str = ClockGatingStyle.CC3.value,
+) -> SmtCell:
+    """Build an :class:`SmtCell`, filling library defaults for blanks."""
+    mix_spec(mix)  # validate the name eagerly
+    return SmtCell(
+        mix=mix,
+        config=config or table3_config(),
+        instructions=instructions or default_instructions(),
+        warmup=default_warmup() if warmup is None else warmup,
+        policy=policy,
+        sharing=sharing,
+        seed=seed,
+        clock_gating=clock_gating,
+    )
+
+
+def simulate_smt(cell: SmtCell) -> SmtResult:
+    """Run one SMT mix cell and collect every measured quantity."""
+    spec = mix_spec(cell.mix)
+    base_seed = cell.effective_seed
+    seeds = spec.thread_seeds(base_seed)
+    programs = spec.build_programs(base_seed)
+    processor = SmtProcessor(
+        cell.config,
+        programs,
+        seeds,
+        fetch_policy=make_fetch_policy(cell.policy),
+        sharing=cell.sharing,
+        clock_gating=ClockGatingStyle(cell.clock_gating),
+    )
+    processor.run(cell.instructions, warmup_instructions=cell.warmup)
+    return collect_smt_result(processor, cell.mix, cell.policy, cell.instructions)
+
+
+def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
+    """The single-threaded reference cells of an SMT mix, in thread order.
+
+    Thread *i*'s reference runs the same benchmark on the same derived
+    seed (so the *identical* program instance) alone on the baseline core
+    for the same per-thread run lengths — the denominators of weighted
+    speedup and harmonic fairness.  Each is an ordinary :class:`SimCell`,
+    so references are cached and shared across mixes and policies.
+    """
+    spec = mix_spec(cell.mix)
+    seeds = spec.thread_seeds(cell.effective_seed)
+    return [
+        SimCell(
+            benchmark=benchmark,
+            controller_spec=("baseline",),
+            config=cell.config,
+            instructions=cell.instructions,
+            warmup=cell.warmup,
+            seed=seed,
+            clock_gating=cell.clock_gating,
+            label=f"{benchmark}@t{thread_id}",
+        )
+        for thread_id, (benchmark, seed) in enumerate(zip(spec.benchmarks, seeds))
+    ]
+
+
+# ----------------------------------------------------------------------
 # Fingerprinting and result (de)serialisation
 # ----------------------------------------------------------------------
 
@@ -276,6 +385,44 @@ def cell_fingerprint(cell: SimCell) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def smt_cell_fingerprint(cell: SmtCell) -> str:
+    """A stable content address of an SMT mix cell.
+
+    Same canonical-JSON-over-SHA-256 recipe as :func:`cell_fingerprint`,
+    with a ``kind`` discriminator so an SMT cell can never collide with a
+    single-thread cell, plus the mix, fetch policy and sharing mode.
+    """
+    payload = {
+        "schema": _CACHE_SCHEMA,
+        "kind": "smt",
+        "version": _code_version(),
+        "mix": cell.mix,
+        "policy": cell.policy,
+        "sharing": cell.sharing,
+        "config": {name: value for name, value in sorted(vars(cell.config).items())},
+        "seed": cell.effective_seed,
+        "clock_gating": cell.clock_gating,
+        "instructions": cell.instructions,
+        "warmup": cell.warmup,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def fingerprint_of(cell) -> str:
+    """The content address of any cell kind."""
+    if isinstance(cell, SmtCell):
+        return smt_cell_fingerprint(cell)
+    return cell_fingerprint(cell)
+
+
+def execute_cell(cell):
+    """Simulate any cell kind (the engine's process-pool work function)."""
+    if isinstance(cell, SmtCell):
+        return simulate_smt(cell)
+    return simulate(cell)
+
+
 def result_to_dict(result: SimulationResult) -> Dict:
     """A JSON-safe dict of every result field."""
     return {f.name: getattr(result, f.name) for f in fields(SimulationResult)}
@@ -310,9 +457,10 @@ class ResultCache:
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, f"{fingerprint}.json")
 
-    def get(self, cell: SimCell) -> Optional[SimulationResult]:
-        """The cached result of ``cell``, relabelled for this request."""
-        path = self._path(cell_fingerprint(cell))
+    def get(self, cell):
+        """The cached result of any cell kind, relabelled for this request."""
+        is_smt = isinstance(cell, SmtCell)
+        path = self._path(fingerprint_of(cell))
         try:
             with open(path) as handle:
                 payload = json.load(handle)
@@ -322,23 +470,41 @@ class ResultCache:
         if payload.get("schema") != _CACHE_SCHEMA:
             self.misses += 1
             return None
+        # Entries written before the SMT cell kind carry no marker: they
+        # are single-thread results.
+        if payload.get("kind", "sim") != ("smt" if is_smt else "sim"):
+            self.misses += 1
+            return None
         self.hits += 1
+        if is_smt:
+            return smt_result_from_dict(payload["result"])
         result = result_from_dict(payload["result"])
         # The label is display-only and not part of the fingerprint.
         if result.label != cell.effective_label:
             result = replace(result, label=cell.effective_label)
         return result
 
-    def put(self, cell: SimCell, result: SimulationResult) -> None:
-        fingerprint = cell_fingerprint(cell)
+    def put(self, cell, result) -> None:
+        fingerprint = fingerprint_of(cell)
         path = self._path(fingerprint)
-        payload = {
-            "schema": _CACHE_SCHEMA,
-            "fingerprint": fingerprint,
-            "benchmark": cell.benchmark,
-            "controller_spec": list(cell.controller_spec),
-            "result": result_to_dict(result),
-        }
+        if isinstance(cell, SmtCell):
+            payload = {
+                "schema": _CACHE_SCHEMA,
+                "kind": "smt",
+                "fingerprint": fingerprint,
+                "mix": cell.mix,
+                "policy": cell.policy,
+                "result": smt_result_to_dict(result),
+            }
+        else:
+            payload = {
+                "schema": _CACHE_SCHEMA,
+                "kind": "sim",
+                "fingerprint": fingerprint,
+                "benchmark": cell.benchmark,
+                "controller_spec": list(cell.controller_spec),
+                "result": result_to_dict(result),
+            }
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -375,10 +541,14 @@ class ExecutionEngine:
     def run_cell(self, cell: SimCell) -> SimulationResult:
         return self.run([cell])[0]
 
-    def run(self, cells: Sequence[SimCell]) -> List[SimulationResult]:
-        """Simulate every cell, returning results in submission order."""
-        results: List[Optional[SimulationResult]] = [None] * len(cells)
-        pending: List[Tuple[int, SimCell]] = []
+    def run(self, cells: Sequence) -> List:
+        """Simulate every cell, returning results in submission order.
+
+        Batches may mix cell kinds: single-thread :class:`SimCell` and
+        :class:`SmtCell` entries share the pool and the cache.
+        """
+        results: List = [None] * len(cells)
+        pending: List[Tuple[int, object]] = []
         for index, cell in enumerate(cells):
             cached = self.cache.get(cell) if self.cache else None
             if cached is not None:
@@ -390,9 +560,9 @@ class ExecutionEngine:
             todo = [cell for _, cell in pending]
             if self.jobs > 1 and len(todo) > 1:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    simulated = list(pool.map(simulate, todo))
+                    simulated = list(pool.map(execute_cell, todo))
             else:
-                simulated = [simulate(cell) for cell in todo]
+                simulated = [execute_cell(cell) for cell in todo]
             for (index, cell), result in zip(pending, simulated):
                 results[index] = result
                 self.executed += 1

@@ -85,6 +85,8 @@ class DynamicInstruction:
         "seq",
         "static",
         "pc",
+        # owning hardware thread (0 on a single-threaded core)
+        "thread_id",
         # control flow
         "predicted_taken",
         "predicted_target",
@@ -92,6 +94,9 @@ class DynamicInstruction:
         "actual_target",
         "mispredicted",
         "confidence",
+        # set while an in-flight branch counts against its thread's
+        # low-confidence total (SMT fetch gating)
+        "lowconf",
         "bpred_snapshot",
         "ras_checkpoint",
         "rename_checkpoint",
@@ -134,6 +139,7 @@ class DynamicInstruction:
         self.seq = seq
         self.static = static
         self.pc = static.address
+        self.thread_id = 0
 
         self.predicted_taken = False
         self.predicted_target = 0
@@ -141,6 +147,7 @@ class DynamicInstruction:
         self.actual_target = 0
         self.mispredicted = False
         self.confidence = None
+        self.lowconf = False
         self.bpred_snapshot = None
         self.ras_checkpoint = None
         self.rename_checkpoint = None

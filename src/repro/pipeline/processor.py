@@ -14,12 +14,22 @@ decoding and executing real wrong-path code until the branch resolves at
 execute, squashes younger instructions and redirects fetch.  Squashed
 instructions carry their per-unit access tallies into the power model's
 wasted pool — that is what reproduces the paper's Table 1.
+
+**Hardware threads.** All per-thread state — the front-end cursors, the
+branch predictor, confidence estimator, BTB, RAS, the in-order pipes, and
+the thread's back-end partition (ROB/IQ/LSQ/renamer) — lives in a
+:class:`ThreadContext`.  The :class:`Processor` drives a list of contexts
+sharing the functional units, memory hierarchy, power model and cycle
+counter; the classic single-program constructor builds exactly one context,
+so the baseline machine is the one-thread special case of the same code
+path.  :class:`repro.smt.core.SmtProcessor` instantiates several contexts
+plus a fetch policy to model an SMT core.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bpred.base import BranchPredictor
 from repro.bpred.bimodal import BimodalPredictor
@@ -66,6 +76,17 @@ _DCACHE = int(PowerUnit.DCACHE)
 _DCACHE2 = int(PowerUnit.DCACHE2)
 _RESULTBUS = int(PowerUnit.RESULTBUS)
 
+# Address-space separation between hardware threads: programs are generated
+# over the same synthetic address ranges, so each thread's code and data are
+# offset into a private region — two threads must contend for cache sets,
+# never alias onto the same lines.  The stride carries a line-aligned,
+# non-power-of-2 skew: a pure power-of-2 stride is a multiple of every
+# cache's way size, which would map all threads' hottest lines onto the
+# same sets and thrash an N>ways mix before a single instruction commits.
+# Thread 0's offset is zero, keeping the single-thread machine
+# bit-identical to the pre-SMT model.
+THREAD_ADDRESS_STRIDE = 0x4000_0000 + 0x2480
+
 
 def build_predictor(config: ProcessorConfig) -> BranchPredictor:
     """Instantiate the direction predictor named by the configuration."""
@@ -103,8 +124,109 @@ def build_estimator(config: ProcessorConfig) -> Optional[ConfidenceEstimator]:
     raise ConfigurationError(f"unknown confidence kind {kind!r}")
 
 
+class ThreadContext:
+    """Everything one hardware thread owns.
+
+    Front-end: program, prediction structures, fetch cursors and the two
+    in-order pipes.  Back-end partition: renamer, ROB, IQ and LSQ (each
+    thread commits in its own program order and recovers its own branch
+    mispredictions, so these are private; capacity sharing across threads
+    is enforced by the processor when configured).  The per-thread counters
+    feed the SMT fairness/throughput metrics and reset with the measured
+    window.
+    """
+
+    def __init__(
+        self,
+        thread_id: int,
+        config: ProcessorConfig,
+        program: Program,
+        controller: SpeculationController,
+        seed: int,
+        rob_size: int,
+        iq_size: int,
+        lsq_size: int,
+        fetch_buffer: int,
+    ) -> None:
+        self.thread_id = thread_id
+        self.program = program
+        self.controller = controller
+        self.seed = seed
+        self.mem_offset = thread_id * THREAD_ADDRESS_STRIDE
+
+        self.bpred = build_predictor(config)
+        self.confidence = build_estimator(config)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self.oracle = TruePathOracle(program, seed)
+        self.navigator = WrongPathNavigator(program, seed)
+
+        # Fetch state.
+        self.fetch_mode = "true"
+        self.true_index = 0
+        self.wp_cursor = None
+        self.wp_salt = 0
+        self.fetch_stall_until = 0
+        self.unresolved_mispredicts = 0
+        self.fetch_buffer = fetch_buffer
+
+        # In-order front-end pipes: deques of (ready_cycle, instruction).
+        self.fetch_pipe = deque()
+        self.decode_pipe = deque()
+
+        # Back-end partition.
+        self.renamer = RegisterRenamer()
+        self.rob = ReorderBuffer(rob_size)
+        self.iq = IssueQueue(iq_size)
+        self.lsq = LoadStoreQueue(lsq_size)
+
+        self.last_committed_true_index = 0
+        self.commits_since_prune = 0
+
+        # Fetch-gating signal: conditional branches in flight whose
+        # confidence label was low (LC/VLC).  SMT fetch policies read it.
+        self.lowconf_inflight = 0
+
+        # Measured-window counters (reset with the measurement window).
+        self.committed = 0
+        self.fetched = 0
+        self.fetched_wrong_path = 0
+        self.squashed = 0
+        self.cond_branches_committed = 0
+        self.mispredictions_committed = 0
+        self.fetch_cycles = 0
+        self.policy_gated_cycles = 0
+
+    @property
+    def front_end_occupancy(self) -> int:
+        """Instructions currently in the in-order front-end pipes."""
+        return len(self.fetch_pipe) + len(self.decode_pipe)
+
+    @property
+    def in_flight(self) -> int:
+        """ICOUNT-style pre-issue occupancy (pipes + issue queue)."""
+        return self.front_end_occupancy + len(self.iq)
+
+    def reset_measurement(self) -> None:
+        """Zero the measured-window counters; keep microarchitectural state."""
+        self.committed = 0
+        self.fetched = 0
+        self.fetched_wrong_path = 0
+        self.squashed = 0
+        self.cond_branches_committed = 0
+        self.mispredictions_committed = 0
+        self.fetch_cycles = 0
+        self.policy_gated_cycles = 0
+
+
 class Processor:
-    """Cycle-level model of the paper's simulated machine."""
+    """Cycle-level model of the paper's simulated machine.
+
+    The classic constructor builds a one-thread machine around a single
+    program — bit-identical to the pre-SMT model.  Subclasses (the SMT
+    core) populate ``self.threads`` with several contexts and set
+    ``self.fetch_policy`` before simulation.
+    """
 
     def __init__(
         self,
@@ -115,15 +237,32 @@ class Processor:
         clock_gating: ClockGatingStyle = ClockGatingStyle.CC3,
         seed: int = 1,
     ) -> None:
-        self.config = config
-        self.program = program
-        self.controller = controller or NullController()
+        self._init_shared(config, power_table, clock_gating)
         self.seed = seed
+        self.threads: List[ThreadContext] = [
+            ThreadContext(
+                0,
+                config,
+                program,
+                controller or NullController(),
+                seed,
+                rob_size=config.rob_size,
+                iq_size=config.iq_size,
+                lsq_size=config.lsq_size,
+                fetch_buffer=config.effective_fetch_buffer,
+            )
+        ]
+        self._finish_threads()
 
-        self.bpred = build_predictor(config)
-        self.confidence = build_estimator(config)
-        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
-        self.ras = ReturnAddressStack(config.ras_depth)
+    def _init_shared(
+        self,
+        config: ProcessorConfig,
+        power_table: Optional[UnitPowerTable],
+        clock_gating: ClockGatingStyle,
+        attribute_threads: bool = False,
+    ) -> None:
+        """Initialise state shared by every hardware thread."""
+        self.config = config
         self.memory = MemoryHierarchy(
             icache_kb=config.icache_kb,
             dcache_kb=config.dcache_kb,
@@ -139,40 +278,87 @@ class Processor:
         )
         self._power_table = power_table
         self._clock_gating = clock_gating
-        self.power = PowerModel(power_table, clock_gating)
+        self._attribute_threads = attribute_threads
+        self.power = PowerModel(
+            power_table, clock_gating, attribute_threads=attribute_threads
+        )
 
-        self.oracle = TruePathOracle(program, seed)
-        self.navigator = WrongPathNavigator(program, seed)
-
-        # Fetch state.
         self.cycle = 0
         self._seq = 0
-        self._fetch_mode = "true"
-        self._true_index = 0
-        self._wp_cursor = None
-        self._wp_salt = 0
-        self._fetch_stall_until = 0
-        self._unresolved_mispredicts = 0
         self._line_shift = config.line_bytes.bit_length() - 1
 
-        # In-order front-end pipes: deques of (ready_cycle, instruction).
-        self._fetch_pipe = deque()
-        self._decode_pipe = deque()
-
-        # Back end.
-        self.renamer = RegisterRenamer()
-        self.rob = ReorderBuffer(config.rob_size)
-        self.iq = IssueQueue(config.iq_size)
-        self.lsq = LoadStoreQueue(config.lsq_size)
         self.fu_pool = FunctionalUnitPool(config)
         self._completions: Dict[int, List[DynamicInstruction]] = {}
 
         self.stats = SimStats()
-        self._last_committed_true_index = 0
-        self._commits_since_prune = 0
+        # SMT hooks; the single-thread machine leaves them inert.
+        self.fetch_policy = None
+        self._shared_caps: Optional[Tuple[int, int, int]] = None
         # Optional observer with on_commit(instr, cycle) / on_squash(instr,
         # cycle) callbacks (see repro.tracing); None costs nothing.
         self.observer = None
+
+    def _finish_threads(self) -> None:
+        """Derived totals; call after ``self.threads`` is populated."""
+        if self._shared_caps is not None:
+            # Shared back-end: every thread's ROB is full-size but the
+            # dispatch cap bounds total in-flight — occupancy (which
+            # drives clock-tree power) is over the *shared* capacity.
+            self._total_rob_size = self._shared_caps[0]
+        else:
+            self._total_rob_size = sum(thread.rob.size for thread in self.threads)
+
+    # ------------------------------------------------------------------
+    # Single-thread aliases (the overwhelmingly common configuration)
+    # ------------------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self.threads[0].program
+
+    @property
+    def controller(self) -> SpeculationController:
+        return self.threads[0].controller
+
+    @property
+    def bpred(self) -> BranchPredictor:
+        return self.threads[0].bpred
+
+    @property
+    def confidence(self) -> Optional[ConfidenceEstimator]:
+        return self.threads[0].confidence
+
+    @property
+    def btb(self) -> BranchTargetBuffer:
+        return self.threads[0].btb
+
+    @property
+    def ras(self) -> ReturnAddressStack:
+        return self.threads[0].ras
+
+    @property
+    def oracle(self) -> TruePathOracle:
+        return self.threads[0].oracle
+
+    @property
+    def navigator(self) -> WrongPathNavigator:
+        return self.threads[0].navigator
+
+    @property
+    def renamer(self) -> RegisterRenamer:
+        return self.threads[0].renamer
+
+    @property
+    def rob(self) -> ReorderBuffer:
+        return self.threads[0].rob
+
+    @property
+    def iq(self) -> IssueQueue:
+        return self.threads[0].iq
+
+    @property
+    def lsq(self) -> LoadStoreQueue:
+        return self.threads[0].lsq
 
     # ------------------------------------------------------------------
     # Public driving interface
@@ -196,8 +382,13 @@ class Processor:
     def reset_measurement(self) -> None:
         """Zero statistics and energy; keep all microarchitectural state."""
         self.stats = SimStats()
-        self.power = PowerModel(self._power_table, self._clock_gating)
+        self.power = PowerModel(
+            self._power_table, self._clock_gating,
+            attribute_threads=self._attribute_threads,
+        )
         self.memory.reset_stats()
+        for thread in self.threads:
+            thread.reset_measurement()
 
     def _run_until(self, instructions: int) -> None:
         base = self.stats.committed
@@ -221,8 +412,15 @@ class Processor:
         self._rename(cycle, activity)
         self._decode(cycle)
         self._fetch(cycle, activity)
-        self.power.end_cycle(activity, self.rob.occupancy)
-        self.power.note_instr_cycles(len(self.rob))
+        threads = self.threads
+        if len(threads) == 1:
+            in_flight = len(threads[0].rob)
+            occupancy = threads[0].rob.occupancy
+        else:
+            in_flight = sum(len(thread.rob) for thread in threads)
+            occupancy = in_flight / self._total_rob_size
+        self.power.end_cycle(activity, occupancy)
+        self.power.note_instr_cycles(in_flight)
         self.stats.cycles += 1
         self.cycle = cycle + 1
 
@@ -231,10 +429,22 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _commit(self, cycle: int, activity: List[int]) -> None:
+        threads = self.threads
+        count = len(threads)
+        budget = self.config.commit_width
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            budget -= self._commit_thread(thread, cycle, activity, budget)
+
+    def _commit_thread(
+        self, thread: ThreadContext, cycle: int, activity: List[int], budget: int
+    ) -> int:
         stats = self.stats
-        rob = self.rob
+        rob = thread.rob
         committed = 0
-        while committed < self.config.commit_width:
+        while committed < budget:
             head = rob.head()
             if head is None or not head.completed:
                 break
@@ -252,41 +462,47 @@ class Processor:
                 if not result.l1_hit:
                     activity[_DCACHE2] += 1
                     tally[_DCACHE2] += 1
-                self.lsq.release()
+                thread.lsq.release()
             elif opcode is Opcode.LOAD:
-                self.lsq.release()
+                thread.lsq.release()
             elif head.is_cond_branch:
-                self._commit_branch(head, activity)
+                self._commit_branch(thread, head, activity)
             self.power.credit_committed(head, cycle)
             if self.observer is not None:
                 self.observer.on_commit(head, cycle)
             stats.committed += 1
+            thread.committed += 1
             committed += 1
             if head.true_index >= 0:
-                self._last_committed_true_index = head.true_index
-        self._commits_since_prune += committed
-        if self._commits_since_prune >= 8192:
-            self.oracle.prune_before(self._last_committed_true_index)
-            self._commits_since_prune = 0
+                thread.last_committed_true_index = head.true_index
+        thread.commits_since_prune += committed
+        if thread.commits_since_prune >= 8192:
+            thread.oracle.prune_before(thread.last_committed_true_index)
+            thread.commits_since_prune = 0
+        return committed
 
-    def _commit_branch(self, instr: DynamicInstruction, activity: List[int]) -> None:
+    def _commit_branch(
+        self, thread: ThreadContext, instr: DynamicInstruction, activity: List[int]
+    ) -> None:
         stats = self.stats
         stats.cond_branches_committed += 1
+        thread.cond_branches_committed += 1
         correct = not instr.mispredicted
         if not correct:
             stats.mispredictions_committed += 1
-        self.bpred.train(instr.pc, instr.actual_taken, instr.bpred_snapshot)
+            thread.mispredictions_committed += 1
+        thread.bpred.train(instr.pc, instr.actual_taken, instr.bpred_snapshot)
         activity[_BPRED] += 1
         instr.unit_accesses[_BPRED] += 1
-        if self.confidence is not None:
-            self.confidence.train(
+        if thread.confidence is not None:
+            thread.confidence.train(
                 instr.pc, correct, instr.bpred_snapshot, taken=instr.actual_taken
             )
             if instr.confidence is not None:
                 stats.confidence.record(instr.confidence, correct)
         if instr.actual_taken and instr.actual_target >= 0:
-            target_address = self.program.block(instr.actual_target).address
-            self.btb.update(instr.pc, target_address)
+            target_address = thread.program.block(instr.actual_target).address
+            thread.btb.update(instr.pc, target_address)
 
     # ------------------------------------------------------------------
     # Stage: writeback / branch resolution
@@ -298,83 +514,98 @@ class Processor:
             return
         if len(events) > 1:
             events.sort(key=lambda instruction: instruction.seq)
+        threads = self.threads
         for instr in events:
             if instr.squashed:
                 continue
+            thread = threads[instr.thread_id]
             instr.completed = True
             instr.complete_cycle = cycle
             tally = instr.unit_accesses
             if instr.phys_dest >= 0:
-                self.renamer.mark_completed(instr.phys_dest)
+                thread.renamer.mark_completed(instr.phys_dest)
                 activity[_RESULTBUS] += 1
                 tally[_RESULTBUS] += 1
-                woken = self.iq.wakeup(instr.phys_dest)
+                woken = thread.iq.wakeup(instr.phys_dest)
                 if woken:
                     activity[_WINDOW] += 1
                     tally[_WINDOW] += 1
             if instr.is_cond_branch:
-                self.controller.on_branch_resolved(instr)
+                if instr.lowconf:
+                    instr.lowconf = False
+                    thread.lowconf_inflight -= 1
+                thread.controller.on_branch_resolved(instr)
                 if instr.mispredicted:
-                    self._recover(instr, cycle)
+                    self._recover(thread, instr, cycle)
 
-    def _recover(self, branch: DynamicInstruction, cycle: int) -> None:
-        """Squash younger instructions and redirect fetch after ``branch``."""
+    def _recover(
+        self, thread: ThreadContext, branch: DynamicInstruction, cycle: int
+    ) -> None:
+        """Squash the thread's younger instructions and redirect its fetch."""
         stats = self.stats
         stats.squashes += 1
-        # Remove every younger instruction, youngest first.
-        for instr in self.rob.squash_younger(branch.seq):
-            self._squash_instr(instr, cycle, in_backend=True)
-        self.iq.squash_younger(branch.seq)
-        for _, instr in self._fetch_pipe:
-            self._squash_instr(instr, cycle, in_backend=False)
-        self._fetch_pipe.clear()
-        for _, instr in self._decode_pipe:
-            self._squash_instr(instr, cycle, in_backend=False)
-        self._decode_pipe.clear()
+        # Remove every younger instruction of this thread, youngest first.
+        for instr in thread.rob.squash_younger(branch.seq):
+            self._squash_instr(thread, instr, cycle, in_backend=True)
+        thread.iq.squash_younger(branch.seq)
+        for _, instr in thread.fetch_pipe:
+            self._squash_instr(thread, instr, cycle, in_backend=False)
+        thread.fetch_pipe.clear()
+        for _, instr in thread.decode_pipe:
+            self._squash_instr(thread, instr, cycle, in_backend=False)
+        thread.decode_pipe.clear()
 
         # Architectural repair.
-        self.renamer.restore(branch.rename_checkpoint)
-        self.bpred.restore(branch.bpred_snapshot, branch.actual_taken)
-        self.ras.restore(branch.ras_checkpoint)
+        thread.renamer.restore(branch.rename_checkpoint)
+        thread.bpred.restore(branch.bpred_snapshot, branch.actual_taken)
+        thread.ras.restore(branch.ras_checkpoint)
 
         # Redirect fetch down the branch's actual path.
         if branch.resume_mode == "true":
-            self._fetch_mode = "true"
-            self._true_index = branch.resume_true_index
-            self._wp_cursor = None
+            thread.fetch_mode = "true"
+            thread.true_index = branch.resume_true_index
+            thread.wp_cursor = None
         else:
-            self._fetch_mode = "wrong"
-            self._wp_cursor = branch.resume_wp_cursor
-        self._fetch_stall_until = cycle + self.config.redirect_penalty
-        self._unresolved_mispredicts -= 1
-        if self._unresolved_mispredicts < 0:
+            thread.fetch_mode = "wrong"
+            thread.wp_cursor = branch.resume_wp_cursor
+        thread.fetch_stall_until = cycle + self.config.redirect_penalty
+        thread.unresolved_mispredicts -= 1
+        if thread.unresolved_mispredicts < 0:
             raise SimulationError("unresolved misprediction count underflow")
 
     def _squash_instr(
-        self, instr: DynamicInstruction, cycle: int, in_backend: bool
+        self,
+        thread: ThreadContext,
+        instr: DynamicInstruction,
+        cycle: int,
+        in_backend: bool,
     ) -> None:
         instr.squashed = True
         stats = self.stats
         stats.squashed += 1
+        thread.squashed += 1
         self.power.credit_squashed(instr, cycle)
         if self.observer is not None:
             self.observer.on_squash(instr, cycle)
         if instr.is_cond_branch:
-            self.controller.on_branch_squashed(instr)
+            if instr.lowconf:
+                instr.lowconf = False
+                thread.lowconf_inflight -= 1
+            thread.controller.on_branch_squashed(instr)
             # A mispredicted branch that already resolved was discounted at
             # resolution; only still-outstanding ones are discounted here.
             if instr.mispredicted and not instr.completed:
-                self._unresolved_mispredicts -= 1
+                thread.unresolved_mispredicts -= 1
         if not in_backend:
             return
         tag = instr.phys_dest
         if tag >= 0:
-            self.renamer.forget(tag)
-            self.iq.forget_tag(tag)
+            thread.renamer.forget(tag)
+            thread.iq.forget_tag(tag)
         if not instr.issued:
-            self.iq.note_squashed(instr)
+            thread.iq.note_squashed(instr)
         if instr.is_load or instr.is_store:
-            self.lsq.release()
+            thread.lsq.release()
 
     # ------------------------------------------------------------------
     # Stage: issue / select
@@ -382,61 +613,98 @@ class Processor:
 
     def _issue(self, cycle: int, activity: List[int]) -> None:
         self.fu_pool.new_cycle(cycle)
-        controller = self.controller
+        threads = self.threads
+        count = len(threads)
+        budget = self.config.issue_width
         stats = self.stats
-
-        def blocks(instruction: DynamicInstruction) -> bool:
-            blocked = controller.blocks_selection(instruction)
-            if blocked:
-                stats.selection_blocked += 1
-            return blocked
-
-        selected = self.iq.select(self.config.issue_width, self.fu_pool, blocks)
-        if not selected:
-            return
         extra_exec = self.config.extra_exec_latency
-        for instr in selected:
-            instr.issue_cycle = cycle
-            tally = instr.unit_accesses
-            activity[_WINDOW] += 1
-            tally[_WINDOW] += 1
-            activity[_ALU] += 1
-            tally[_ALU] += 1
-            latency = instr.static.latency + extra_exec
-            opcode = instr.opcode
-            if opcode is Opcode.LOAD:
-                result = self.memory.load(instr.mem_address)
-                activity[_DCACHE] += 1
-                tally[_DCACHE] += 1
-                if not result.l1_hit:
-                    activity[_DCACHE2] += 1
-                    tally[_DCACHE2] += 1
-                    # The miss occupies an MSHR until the fill returns;
-                    # squashing the load does not recall the fill.
-                    self.fu_pool.hold_mshr(cycle + result.latency)
-                latency += result.latency
-                instr.mem_latency = result.latency
-            if instr.is_load or instr.is_store:
-                activity[_LSQ] += 1
-                tally[_LSQ] += 1
-            stats.issued += 1
-            if instr.on_wrong_path:
-                stats.issued_wrong_path += 1
-            self._completions.setdefault(cycle + latency, []).append(instr)
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            controller = thread.controller
+
+            def blocks(
+                instruction: DynamicInstruction, controller=controller
+            ) -> bool:
+                blocked = controller.blocks_selection(instruction)
+                if blocked:
+                    stats.selection_blocked += 1
+                return blocked
+
+            selected = thread.iq.select(budget, self.fu_pool, blocks)
+            if not selected:
+                continue
+            budget -= len(selected)
+            for instr in selected:
+                instr.issue_cycle = cycle
+                tally = instr.unit_accesses
+                activity[_WINDOW] += 1
+                tally[_WINDOW] += 1
+                activity[_ALU] += 1
+                tally[_ALU] += 1
+                latency = instr.static.latency + extra_exec
+                opcode = instr.opcode
+                if opcode is Opcode.LOAD:
+                    result = self.memory.load(instr.mem_address)
+                    activity[_DCACHE] += 1
+                    tally[_DCACHE] += 1
+                    if not result.l1_hit:
+                        activity[_DCACHE2] += 1
+                        tally[_DCACHE2] += 1
+                        # The miss occupies an MSHR until the fill returns;
+                        # squashing the load does not recall the fill.
+                        self.fu_pool.hold_mshr(cycle + result.latency)
+                    latency += result.latency
+                    instr.mem_latency = result.latency
+                if instr.is_load or instr.is_store:
+                    activity[_LSQ] += 1
+                    tally[_LSQ] += 1
+                stats.issued += 1
+                if instr.on_wrong_path:
+                    stats.issued_wrong_path += 1
+                self._completions.setdefault(cycle + latency, []).append(instr)
 
     # ------------------------------------------------------------------
     # Stage: rename / dispatch
     # ------------------------------------------------------------------
 
     def _rename(self, cycle: int, activity: List[int]) -> None:
-        pipe = self._decode_pipe
-        rob = self.rob
-        iq = self.iq
-        lsq = self.lsq
+        threads = self.threads
+        count = len(threads)
+        budget = self.config.decode_width
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            budget -= self._rename_thread(thread, cycle, activity, budget)
+
+    def _shared_backend_full(self, is_mem: bool) -> bool:
+        """In shared-back-end mode, is a *total* structural cap exhausted?"""
+        caps = self._shared_caps
+        if caps is None:
+            return False
+        rob_cap, iq_cap, lsq_cap = caps
+        threads = self.threads
+        if sum(len(thread.rob) for thread in threads) >= rob_cap:
+            return True
+        if sum(len(thread.iq) for thread in threads) >= iq_cap:
+            return True
+        if is_mem and sum(len(thread.lsq) for thread in threads) >= lsq_cap:
+            return True
+        return False
+
+    def _rename_thread(
+        self, thread: ThreadContext, cycle: int, activity: List[int], budget: int
+    ) -> int:
+        pipe = thread.decode_pipe
+        rob = thread.rob
+        iq = thread.iq
+        lsq = thread.lsq
+        renamer = thread.renamer
         stats = self.stats
         renamed = 0
-        width = self.config.decode_width
-        while renamed < width and pipe:
+        while renamed < budget and pipe:
             ready_cycle, instr = pipe[0]
             if ready_cycle > cycle:
                 break
@@ -446,9 +714,11 @@ class Processor:
             is_mem = instr.is_load or instr.is_store
             if rob.full or iq.full or (is_mem and lsq.full):
                 break
+            if self._shared_backend_full(is_mem):
+                break
             pipe.popleft()
             instr.rename_cycle = cycle
-            waits = self.renamer.rename(instr)
+            waits = renamer.rename(instr)
             tally = instr.unit_accesses
             activity[_RENAME] += 1
             tally[_RENAME] += 1
@@ -459,7 +729,7 @@ class Processor:
             activity[_WINDOW] += 1
             tally[_WINDOW] += 1
             if instr.is_cond_branch:
-                instr.rename_checkpoint = self.renamer.checkpoint()
+                instr.rename_checkpoint = renamer.checkpoint()
             rob.push(instr)
             if is_mem:
                 lsq.allocate(instr)
@@ -468,21 +738,38 @@ class Processor:
             iq.dispatch(instr, waits)
             stats.renamed += 1
             renamed += 1
+        return renamed
 
     # ------------------------------------------------------------------
     # Stage: decode
     # ------------------------------------------------------------------
 
     def _decode(self, cycle: int) -> None:
-        pipe = self._fetch_pipe
-        out = self._decode_pipe
-        controller = self.controller
+        threads = self.threads
+        count = len(threads)
+        budget = self.config.decode_width
+        throttled = False
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            moved, thread_throttled = self._decode_thread(thread, cycle, budget)
+            budget -= moved
+            throttled = throttled or thread_throttled
+        if throttled:
+            self.stats.decode_throttled_cycles += 1
+
+    def _decode_thread(
+        self, thread: ThreadContext, cycle: int, budget: int
+    ) -> Tuple[int, bool]:
+        pipe = thread.fetch_pipe
+        out = thread.decode_pipe
+        controller = thread.controller
         stats = self.stats
         latency = self.config.decode_to_rename_latency
         moved = 0
-        width = self.config.decode_width
         throttled = False
-        while moved < width and pipe:
+        while moved < budget and pipe:
             ready_cycle, instr = pipe[0]
             if ready_cycle > cycle:
                 break
@@ -497,27 +784,39 @@ class Processor:
             out.append((cycle + latency, instr))
             stats.decoded += 1
             moved += 1
-        if throttled:
-            stats.decode_throttled_cycles += 1
+        return moved, throttled
 
     # ------------------------------------------------------------------
     # Stage: fetch
     # ------------------------------------------------------------------
 
     def _fetch(self, cycle: int, activity: List[int]) -> None:
+        threads = self.threads
+        if len(threads) == 1:
+            self._fetch_thread(threads[0], cycle, activity)
+            return
+        if self.fetch_policy is None:
+            raise SimulationError("a multi-thread processor needs a fetch policy")
+        thread = self.fetch_policy.pick(self, cycle)
+        if thread is None:
+            return
+        self._fetch_thread(thread, cycle, activity)
+
+    def _fetch_thread(
+        self, thread: ThreadContext, cycle: int, activity: List[int]
+    ) -> None:
         stats = self.stats
-        if cycle < self._fetch_stall_until:
+        if cycle < thread.fetch_stall_until:
             stats.redirect_stall_cycles += 1
             return
-        controller = self.controller
+        controller = thread.controller
         if not controller.fetch_allowed(cycle):
             stats.fetch_throttled_cycles += 1
             return
-        if controller.blocks_wrong_path_fetch and self._fetch_mode == "wrong":
+        if controller.blocks_wrong_path_fetch and thread.fetch_mode == "wrong":
             # Oracle fetch: wait at the misprediction until resolution.
             return
-        buffered = len(self._fetch_pipe) + len(self._decode_pipe)
-        capacity = self.config.effective_fetch_buffer - buffered
+        capacity = thread.fetch_buffer - thread.front_end_occupancy
         if capacity <= 0:
             return
 
@@ -525,17 +824,20 @@ class Processor:
         width = min(config.fetch_width, capacity)
         max_taken = config.max_taken_branches_per_cycle
         decode_latency = config.fetch_to_decode_latency
-        oracle = self.oracle
-        navigator = self.navigator
+        oracle = thread.oracle
+        navigator = thread.navigator
         line_shift = self._line_shift
+        mem_offset = thread.mem_offset
+        thread_id = thread.thread_id
+        thread.fetch_cycles += 1
 
         fetched = 0
         taken_branches = 0
         current_line = -1
         while fetched < width:
-            on_true = self._fetch_mode == "true"
+            on_true = thread.fetch_mode == "true"
             if on_true:
-                record = oracle.get(self._true_index)
+                record = oracle.get(thread.true_index)
                 static = record.static
                 actual_taken = record.taken
                 actual_target = record.target_block
@@ -543,54 +845,58 @@ class Processor:
                 next_cursor = None
             else:
                 (static, actual_taken, actual_target,
-                 next_cursor, mem_address) = navigator.fetch_one(self._wp_cursor)
+                 next_cursor, mem_address) = navigator.fetch_one(thread.wp_cursor)
 
-            line = static.address >> line_shift
+            line = (static.address + mem_offset) >> line_shift
             if line != current_line:
-                result = self.memory.fetch(static.address)
+                result = self.memory.fetch(static.address + mem_offset)
                 if not result.l1_hit:
                     activity[_ICACHE] += 1
                     activity[_DCACHE2] += 1
-                    self._fetch_stall_until = cycle + result.latency - 1
+                    thread.fetch_stall_until = cycle + result.latency - 1
                     stats.icache_stall_cycles += 1
                     break
                 current_line = line
 
             instr = DynamicInstruction(self._seq, static)
             self._seq += 1
+            instr.thread_id = thread_id
             instr.unit_accesses = [0] * 11
             instr.fetch_cycle = cycle
             instr.on_wrong_path = not on_true
-            instr.mem_address = mem_address
+            instr.mem_address = mem_address + mem_offset if mem_address else 0
             if on_true:
-                instr.true_index = self._true_index
+                instr.true_index = thread.true_index
             activity[_ICACHE] += 1
             instr.unit_accesses[_ICACHE] += 1
 
             stop_after = False
             if static.is_branch:
                 stop_after = self._fetch_branch(
-                    instr, actual_taken, actual_target, next_cursor,
+                    thread, instr, actual_taken, actual_target, next_cursor,
                     on_true, activity,
                 )
                 if instr.predicted_taken:
                     taken_branches += 1
             else:
                 if on_true:
-                    self._true_index += 1
+                    thread.true_index += 1
                 else:
-                    self._wp_cursor = next_cursor
+                    thread.wp_cursor = next_cursor
 
-            self._fetch_pipe.append((cycle + decode_latency, instr))
+            thread.fetch_pipe.append((cycle + decode_latency, instr))
             stats.fetched += 1
+            thread.fetched += 1
             if instr.on_wrong_path:
                 stats.fetched_wrong_path += 1
+                thread.fetched_wrong_path += 1
             fetched += 1
             if stop_after or taken_branches >= max_taken:
                 break
 
     def _fetch_branch(
         self,
+        thread: ThreadContext,
         instr: DynamicInstruction,
         actual_taken: bool,
         actual_target: int,
@@ -612,70 +918,78 @@ class Processor:
 
         if instr.is_cond_branch:
             stats.cond_branches_fetched += 1
-            prediction = self.bpred.predict(instr.pc)
+            prediction = thread.bpred.predict(instr.pc)
             instr.predicted_taken = prediction.taken
             instr.bpred_snapshot = prediction.snapshot
             instr.mispredicted = prediction.taken != actual_taken
-            instr.ras_checkpoint = self.ras.checkpoint()
-            if self.confidence is not None:
-                self.confidence.set_actual(actual_taken)
-                level = self.confidence.estimate(
-                    instr.pc, prediction, self.bpred,
+            instr.ras_checkpoint = thread.ras.checkpoint()
+            if thread.confidence is not None:
+                thread.confidence.set_actual(actual_taken)
+                level = thread.confidence.estimate(
+                    instr.pc, prediction, thread.bpred,
                     update_state=not instr.on_wrong_path,
                 )
                 instr.confidence = level
-                self.controller.on_branch_fetched(instr, level)
-            if prediction.taken and self.btb.lookup(instr.pc) is None:
+                if level.is_low:
+                    instr.lowconf = True
+                    thread.lowconf_inflight += 1
+                thread.controller.on_branch_fetched(instr, level)
+            if prediction.taken and thread.btb.lookup(instr.pc) is None:
                 # Taken prediction without a cached target: one-cycle bubble.
                 stop_after = True
-            self._advance_after_cond(instr, on_true, next_cursor)
+            self._advance_after_cond(thread, instr, on_true, next_cursor)
             if instr.mispredicted:
-                self._unresolved_mispredicts += 1
-                stop_after = True if self.controller.blocks_wrong_path_fetch else stop_after
+                thread.unresolved_mispredicts += 1
+                if thread.controller.blocks_wrong_path_fetch:
+                    stop_after = True
         else:
             # Unconditional control: never mispredicts in this model.
             instr.predicted_taken = True
-            instr.ras_checkpoint = self.ras.checkpoint()
+            instr.ras_checkpoint = thread.ras.checkpoint()
             if opcode is Opcode.CALL:
-                self.ras.push(instr.pc + 4)
+                thread.ras.push(instr.pc + 4)
             elif opcode is Opcode.RET:
-                self.ras.pop()
-            self.btb.update(instr.pc, 0 if actual_target < 0
-                            else self.program.block(actual_target).address)
+                thread.ras.pop()
+            thread.btb.update(instr.pc, 0 if actual_target < 0
+                              else thread.program.block(actual_target).address)
             if on_true:
-                self._true_index += 1
+                thread.true_index += 1
             else:
-                self._wp_cursor = next_cursor
+                thread.wp_cursor = next_cursor
         return stop_after
 
     def _advance_after_cond(
-        self, instr: DynamicInstruction, on_true: bool, next_cursor
+        self,
+        thread: ThreadContext,
+        instr: DynamicInstruction,
+        on_true: bool,
+        next_cursor,
     ) -> None:
         """Advance the fetch cursor along the *predicted* direction and
         store the recovery cursor for the *actual* direction."""
-        block = self.program.block(instr.static.block_id)
+        block = thread.program.block(instr.static.block_id)
         predicted_target = block.taken_target if instr.predicted_taken else block.fall_target
 
         if on_true:
-            resume_index = self._true_index + 1
+            resume_index = thread.true_index + 1
             instr.resume_mode = "true"
             instr.resume_true_index = resume_index
             if instr.mispredicted:
                 # Diverge onto the wrong path at the predicted target.
-                self._wp_salt += 1
-                self._fetch_mode = "wrong"
-                self._wp_cursor = self.navigator.start_cursor(
-                    predicted_target, self._wp_salt * 8191 + instr.seq
+                thread.wp_salt += 1
+                thread.fetch_mode = "wrong"
+                thread.wp_cursor = thread.navigator.start_cursor(
+                    predicted_target, thread.wp_salt * 8191 + instr.seq
                 )
-                self._true_index = resume_index
+                thread.true_index = resume_index
             else:
-                self._true_index = resume_index
+                thread.true_index = resume_index
         else:
             instr.resume_mode = "wrong"
             instr.resume_wp_cursor = next_cursor
             if instr.mispredicted:
                 # Redirect this wrong path along its own predicted direction.
                 _, _, stack, step = next_cursor
-                self._wp_cursor = (predicted_target, 0, stack, step)
+                thread.wp_cursor = (predicted_target, 0, stack, step)
             else:
-                self._wp_cursor = next_cursor
+                thread.wp_cursor = next_cursor

@@ -28,7 +28,7 @@ occupancy, squashed vs committed.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.isa.instruction import DynamicInstruction
@@ -54,6 +54,7 @@ class PowerModel:
         table: Optional[UnitPowerTable] = None,
         style: ClockGatingStyle = ClockGatingStyle.CC3,
         idle_fraction: float = 0.1,
+        attribute_threads: bool = False,
     ) -> None:
         if not 0.0 <= idle_fraction <= 1.0:
             raise ConfigurationError("idle fraction must be in [0, 1]")
@@ -76,6 +77,12 @@ class PowerModel:
         self.total_instr_cycles = 0
         self.wasted_instr_cycles = 0
         self.committed_instr_cycles = 0
+        # Per-hardware-thread dynamic-energy ledger, filled at retirement:
+        # thread id -> [useful_joules, wasted_joules, committed, squashed].
+        # Off by default: the committed-side energy summation is per-unit
+        # work on every commit, and single-thread consumers never read it.
+        self.attribute_threads = attribute_threads
+        self._thread_ledger: Dict[int, List[float]] = {}
         # Per-access dynamic energy, precomputed per unit.
         cycle_s = self.table.cycle_seconds
         active_share = 1.0 - idle_fraction if style is ClockGatingStyle.CC3 else 1.0
@@ -141,9 +148,34 @@ class PowerModel:
         """Record pipeline occupancy for clock-energy attribution."""
         self.total_instr_cycles += in_flight
 
+    def _ledger_of(self, instruction: DynamicInstruction) -> List[float]:
+        ledger = self._thread_ledger
+        thread_id = instruction.thread_id
+        entry = ledger.get(thread_id)
+        if entry is None:
+            entry = [0.0, 0.0, 0, 0]
+            ledger[thread_id] = entry
+        return entry
+
+    def _tally_energy(self, tally: List[int]) -> float:
+        """Dynamic energy of one instruction's per-unit access tally.
+
+        The single definition of access-energy conversion at retirement;
+        ``credit_squashed`` fuses the same expression into its bookkeeping
+        loop (it must also update the per-unit wasted/squashed arrays).
+        """
+        energy_per_access = self._energy_per_access
+        total = 0.0
+        for unit in range(NUM_UNITS):
+            count = tally[unit]
+            if count:
+                total += count * energy_per_access[unit]
+        return total
+
     def credit_squashed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
         """Move a squashed instruction's access energy to the wasted pool."""
         tally = instruction.unit_accesses
+        instr_energy = 0.0
         if tally is not None:
             energy_per_access = self._energy_per_access
             wasted = self.wasted_energy
@@ -151,13 +183,27 @@ class PowerModel:
             for unit in range(NUM_UNITS):
                 count = tally[unit]
                 if count:
-                    wasted[unit] += count * energy_per_access[unit]
+                    energy = count * energy_per_access[unit]
+                    wasted[unit] += energy
                     squashed[unit] += count
+                    instr_energy += energy
+        if self.attribute_threads:
+            entry = self._ledger_of(instruction)
+            entry[1] += instr_energy
+            entry[3] += 1
         if instruction.fetch_cycle >= 0:
             self.wasted_instr_cycles += max(0, now_cycle - instruction.fetch_cycle)
 
     def credit_committed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
-        """Record a committed instruction's residency (clock attribution)."""
+        """Record a committed instruction's residency (clock attribution)
+        and, when per-thread attribution is on, credit its access energy
+        to its thread's useful pool."""
+        if self.attribute_threads:
+            tally = instruction.unit_accesses
+            entry = self._ledger_of(instruction)
+            if tally is not None:
+                entry[0] += self._tally_energy(tally)
+            entry[2] += 1
         if instruction.fetch_cycle >= 0:
             self.committed_instr_cycles += max(0, now_cycle - instruction.fetch_cycle)
 
@@ -221,6 +267,25 @@ class PowerModel:
     def total_wasted_energy(self) -> float:
         """Total energy attributed to mis-speculated instructions."""
         return sum(self.unit_wasted_energy(unit) for unit in PowerUnit)
+
+    def thread_attribution(self) -> dict:
+        """Per-hardware-thread retirement ledger (dynamic-energy view).
+
+        Maps thread id to ``useful_joules`` / ``wasted_joules`` (the
+        per-access dynamic energy of its committed vs squashed
+        instructions) and the matching instruction counts.  Only filled
+        while ``attribute_threads`` is set (the SMT core enables it);
+        otherwise empty.
+        """
+        return {
+            thread_id: {
+                "useful_joules": entry[0],
+                "wasted_joules": entry[1],
+                "committed": entry[2],
+                "squashed": entry[3],
+            }
+            for thread_id, entry in sorted(self._thread_ledger.items())
+        }
 
     def breakdown(self) -> dict:
         """Per-unit share of total energy and wasted share of overall power.

@@ -2,6 +2,7 @@
 
 from repro.report.ascii import bar_chart, figure_bars, sweep_lines
 from repro.report.export import figure_to_csv, figure_to_records, figure_to_json
+from repro.report.smt import format_smt_report
 
 __all__ = [
     "bar_chart",
@@ -10,4 +11,5 @@ __all__ = [
     "figure_to_csv",
     "figure_to_records",
     "figure_to_json",
+    "format_smt_report",
 ]

@@ -1,0 +1,62 @@
+"""Text report of one SMT mix run.
+
+One table row per hardware thread plus the multi-program aggregates
+(weighted speedup, harmonic-mean fairness, energy per instruction).  All
+numbers use fixed-precision formatting, so the report is byte-identical
+across runs of the same cell — the CLI determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.smt.metrics import SmtResult, harmonic_fairness, weighted_speedup
+
+
+def format_smt_report(result: SmtResult, baselines: Sequence) -> str:
+    """Render an SMT mix result against its single-threaded references.
+
+    ``baselines`` holds one
+    :class:`~repro.experiments.results.SimulationResult` per thread, in
+    thread order (see
+    :func:`~repro.experiments.engine.smt_baseline_cells`).
+    """
+    if len(baselines) != result.nthreads:
+        raise ExperimentError(
+            f"{result.nthreads} threads but {len(baselines)} baseline runs"
+        )
+    smt_ipcs = result.thread_ipcs
+    alone_ipcs = [baseline.ipc for baseline in baselines]
+
+    lines = [
+        f"SMT mix {result.mix!r} — {result.nthreads} threads, "
+        f"{result.policy} fetch, {result.sharing} back-end",
+        f"  cycles {result.cycles}   total IPC {result.total_ipc:6.3f}   "
+        f"avg power {result.average_power_watts:6.2f} W   "
+        f"EPI {result.energy_per_instruction_nj:7.3f} nJ",
+        "",
+        "  thr benchmark   committed    IPC  alone-IPC    rel  miss%  "
+        "fetch-cyc  gated  wasted-E%",
+    ]
+    for entry, alone in zip(result.threads, alone_ipcs):
+        ipc = entry["ipc"]
+        relative = ipc / alone if alone else 0.0
+        useful = entry["useful_energy_joules"]
+        wasted = entry["wasted_energy_joules"]
+        dynamic = useful + wasted
+        wasted_pct = wasted / dynamic * 100.0 if dynamic else 0.0
+        lines.append(
+            f"  T{entry['thread_id']:<2d} {entry['benchmark']:<11s} "
+            f"{entry['committed']:9d} {ipc:6.3f} {alone:10.3f} "
+            f"{relative:6.3f} {entry['miss_rate'] * 100.0:6.2f} "
+            f"{entry['fetch_cycles']:10d} {entry['policy_gated_cycles']:6d} "
+            f"{wasted_pct:10.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"  weighted speedup {weighted_speedup(smt_ipcs, alone_ipcs):6.3f}   "
+        f"harmonic fairness {harmonic_fairness(smt_ipcs, alone_ipcs):6.3f}   "
+        f"wasted energy {result.wasted_energy_fraction * 100.0:5.2f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""SMT core model: confidence-driven thread fetch gating on multi-program mixes.
+
+The paper throttles one thread's front-end on branch confidence; this
+package applies the same signal to *thread selection* in an SMT
+front-end, the mechanism's most natural extension:
+
+* :class:`~repro.smt.core.SmtProcessor` — an N-thread core with
+  per-thread front-ends (predictor, confidence estimator, BTB, RAS,
+  true-path oracle) over the shared functional units, caches and power
+  model; back-end capacity partitioned or shared.
+* :mod:`~repro.smt.policies` — fetch policies: round-robin, ICOUNT, and
+  :class:`~repro.smt.policies.ConfidenceGatingPolicy`, which maps each
+  thread's in-flight low-confidence branch count onto the paper's §4.1
+  bandwidth levels and hands the fetch port to trustworthy threads.
+* :mod:`~repro.smt.mixes` — named two- and four-program mixes over the
+  calibrated Table-2 suite with deterministic per-thread seed derivation.
+* :mod:`~repro.smt.metrics` — per-thread IPC, weighted speedup,
+  harmonic-mean fairness and energy per instruction.
+
+Run a mix from the shell with ``python -m repro smt --mix mix2-branchy``.
+"""
+
+from repro.smt.core import SHARING_MODES, SmtProcessor
+from repro.smt.metrics import (
+    SmtResult,
+    collect_smt_result,
+    harmonic_fairness,
+    smt_result_from_dict,
+    smt_result_to_dict,
+    weighted_speedup,
+)
+from repro.smt.mixes import MIX_NAMES, MixSpec, load_mixes, mix_spec
+from repro.smt.policies import (
+    POLICY_NAMES,
+    ConfidenceGatingPolicy,
+    FetchPolicy,
+    ICountPolicy,
+    RoundRobinPolicy,
+    make_fetch_policy,
+)
+
+__all__ = [
+    "SmtProcessor",
+    "SHARING_MODES",
+    "SmtResult",
+    "collect_smt_result",
+    "weighted_speedup",
+    "harmonic_fairness",
+    "smt_result_to_dict",
+    "smt_result_from_dict",
+    "MixSpec",
+    "MIX_NAMES",
+    "mix_spec",
+    "load_mixes",
+    "FetchPolicy",
+    "RoundRobinPolicy",
+    "ICountPolicy",
+    "ConfidenceGatingPolicy",
+    "POLICY_NAMES",
+    "make_fetch_policy",
+]

@@ -1,0 +1,166 @@
+"""SMT run results and the multi-program throughput/fairness metrics.
+
+A multi-program result is only meaningful against the single-threaded
+runs of the same program instances, so the aggregate metrics take the
+per-thread *alone* IPCs as input:
+
+* **weighted speedup** (Snavely & Tullsen) — mean over threads of
+  ``IPC_smt / IPC_alone``: total throughput normalised so a thread cannot
+  buy progress by starving another;
+* **harmonic-mean fairness** (Luo et al.) — harmonic mean of the same
+  relative IPCs: dominated by the *worst-treated* thread, the standard
+  fairness-sensitive aggregate;
+* **energy per instruction** — total energy over total committed
+  instructions, the throughput-independent energy figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SmtResult:
+    """Everything measured in one SMT mix simulation.
+
+    ``threads`` holds one plain dict per hardware thread (JSON-safe for
+    the engine's on-disk cache): benchmark, seed, committed, ipc,
+    miss_rate, fetch_cycles, policy_gated_cycles, squashed, and the
+    per-thread useful/wasted dynamic energy attribution in joules.
+    """
+
+    mix: str
+    policy: str
+    sharing: str
+    nthreads: int
+    instructions_per_thread: int
+    cycles: int
+    total_committed: int
+    total_ipc: float
+    average_power_watts: float
+    energy_joules: float
+    execution_seconds: float
+    wasted_energy_fraction: float
+    threads: List[Dict] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def thread_ipcs(self) -> List[float]:
+        """Per-thread committed IPC, in thread order."""
+        return [entry["ipc"] for entry in self.threads]
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        """Nanojoules of total energy per committed instruction."""
+        if not self.total_committed:
+            return 0.0
+        return self.energy_joules / self.total_committed * 1e9
+
+
+def collect_smt_result(
+    processor,
+    mix: str,
+    policy: str,
+    instructions_per_thread: int,
+) -> SmtResult:
+    """Harvest an :class:`SmtResult` from a finished SMT simulation."""
+    stats = processor.stats
+    power = processor.power
+    cycles = stats.cycles
+    attribution = power.thread_attribution()
+    threads = []
+    for thread in processor.threads:
+        ledger = attribution.get(thread.thread_id, {})
+        branches = thread.cond_branches_committed
+        threads.append({
+            "thread_id": thread.thread_id,
+            "benchmark": thread.program.name,
+            "seed": thread.seed,
+            "committed": thread.committed,
+            "ipc": thread.committed / cycles if cycles else 0.0,
+            "miss_rate": (
+                thread.mispredictions_committed / branches if branches else 0.0
+            ),
+            "fetched": thread.fetched,
+            "fetched_wrong_path": thread.fetched_wrong_path,
+            "squashed": thread.squashed,
+            "fetch_cycles": thread.fetch_cycles,
+            "policy_gated_cycles": thread.policy_gated_cycles,
+            "useful_energy_joules": ledger.get("useful_joules", 0.0),
+            "wasted_energy_joules": ledger.get("wasted_joules", 0.0),
+        })
+    total_energy = power.total_energy()
+    wasted_fraction = (
+        power.total_wasted_energy() / total_energy if total_energy else 0.0
+    )
+    return SmtResult(
+        mix=mix,
+        policy=policy,
+        sharing=processor.sharing,
+        nthreads=len(processor.threads),
+        instructions_per_thread=instructions_per_thread,
+        cycles=cycles,
+        total_committed=stats.committed,
+        total_ipc=stats.ipc,
+        average_power_watts=power.average_power(),
+        energy_joules=total_energy,
+        execution_seconds=power.execution_seconds(),
+        wasted_energy_fraction=wasted_fraction,
+        threads=threads,
+        # redirect/fetch-throttle stall counters are deliberately absent:
+        # the SMT fetch policy routes around stalled threads before the
+        # single-thread counting points, so those global counters stay 0
+        # on a multi-thread core and would mislead next to 1-thread runs.
+        extra={
+            "fetched": stats.fetched,
+            "fetched_wrong_path": stats.fetched_wrong_path,
+            "squashed": stats.squashed,
+            "icache_stall_cycles": stats.icache_stall_cycles,
+        },
+    )
+
+
+def _relative_ipcs(
+    smt_ipcs: Sequence[float], alone_ipcs: Sequence[float]
+) -> List[float]:
+    if len(smt_ipcs) != len(alone_ipcs):
+        raise ExperimentError(
+            f"{len(smt_ipcs)} SMT threads but {len(alone_ipcs)} reference runs"
+        )
+    if not smt_ipcs:
+        raise ExperimentError("no threads to aggregate")
+    for alone in alone_ipcs:
+        if alone <= 0.0:
+            raise ExperimentError("degenerate single-threaded reference (IPC <= 0)")
+    return [smt / alone for smt, alone in zip(smt_ipcs, alone_ipcs)]
+
+
+def weighted_speedup(
+    smt_ipcs: Sequence[float], alone_ipcs: Sequence[float]
+) -> float:
+    """Mean relative IPC over threads (1.0 = no multi-programming loss)."""
+    relative = _relative_ipcs(smt_ipcs, alone_ipcs)
+    return sum(relative) / len(relative)
+
+
+def harmonic_fairness(
+    smt_ipcs: Sequence[float], alone_ipcs: Sequence[float]
+) -> float:
+    """Harmonic mean of relative IPCs — punishes starving any one thread."""
+    relative = _relative_ipcs(smt_ipcs, alone_ipcs)
+    if any(value == 0.0 for value in relative):
+        return 0.0
+    return len(relative) / sum(1.0 / value for value in relative)
+
+
+def smt_result_to_dict(result: SmtResult) -> Dict:
+    """A JSON-safe dict of every result field."""
+    return {f.name: getattr(result, f.name) for f in fields(SmtResult)}
+
+
+def smt_result_from_dict(payload: Dict) -> SmtResult:
+    """Rebuild a result from :func:`smt_result_to_dict` output."""
+    return SmtResult(**payload)

@@ -1,0 +1,178 @@
+"""SMT fetch policies: who fetches this cycle.
+
+An SMT front-end has one fetch port; every cycle a policy picks the thread
+that uses it.  Three policies are modelled:
+
+* :class:`RoundRobinPolicy` — rotate over eligible threads (the classic
+  baseline; blind to pipeline state).
+* :class:`ICountPolicy` — Tullsen et al.'s ICOUNT: fetch the thread with
+  the fewest pre-issue instructions in flight, which starves threads that
+  clog the window.
+* :class:`ConfidenceGatingPolicy` — the paper's throttling signal applied
+  to thread selection: each thread's count of in-flight low-confidence
+  branches maps onto a :class:`~repro.core.levels.BandwidthLevel` (the
+  §4.1 throttling levels reused as per-thread fetch bandwidth), gating the
+  thread's fetch slots; among the threads still active this cycle, the one
+  with the fewest low-confidence branches (ICOUNT tie-break) wins.  A
+  thread speculating down many unreliable branches loses fetch slots to
+  its co-runners instead of filling the shared window with wasted work.
+
+Eligibility is policy-independent: a thread stalled on a redirect or an
+I-cache miss, blocked past a misprediction under an oracle controller, or
+with a full front-end buffer cannot use the slot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.levels import BandwidthLevel
+from repro.errors import ConfigurationError
+
+
+class FetchPolicy:
+    """Picks the thread that owns the fetch port each cycle."""
+
+    name = "abstract"
+
+    def pick(self, processor, cycle: int):
+        """Return the :class:`~repro.pipeline.processor.ThreadContext` that
+        fetches on ``cycle``, or None if no thread may."""
+        eligible = [
+            thread for thread in processor.threads
+            if self.eligible(thread, cycle)
+        ]
+        if not eligible:
+            return None
+        return self.choose(eligible, cycle, len(processor.threads))
+
+    @staticmethod
+    def eligible(thread, cycle: int) -> bool:
+        """Can this thread use the fetch port at all this cycle?"""
+        if cycle < thread.fetch_stall_until:
+            return False
+        if thread.front_end_occupancy >= thread.fetch_buffer:
+            return False
+        if not thread.controller.fetch_allowed(cycle):
+            # A throttled thread must not win (and waste) the shared port.
+            return False
+        if thread.controller.blocks_wrong_path_fetch and thread.fetch_mode == "wrong":
+            return False
+        return True
+
+    def choose(self, eligible: List, cycle: int, nthreads: int):
+        """Pick among eligible threads (at least one); ``nthreads`` is the
+        core's total thread count, the modulus of the rotation."""
+        raise NotImplementedError
+
+
+def _rotation_key(thread, cycle: int, nthreads: int) -> int:
+    """Round-robin rank over the core's threads: on cycle ``c`` thread
+    ``c % nthreads`` sorts first, then ``c+1``, and so on."""
+    return (thread.thread_id - cycle) % nthreads
+
+
+class RoundRobinPolicy(FetchPolicy):
+    """Rotate the fetch port over eligible threads, one per cycle."""
+
+    name = "round-robin"
+
+    def choose(self, eligible: List, cycle: int, nthreads: int):
+        return min(
+            eligible, key=lambda thread: _rotation_key(thread, cycle, nthreads)
+        )
+
+
+class ICountPolicy(FetchPolicy):
+    """Fetch the thread with the fewest pre-issue instructions in flight."""
+
+    name = "icount"
+
+    def choose(self, eligible: List, cycle: int, nthreads: int):
+        return min(
+            eligible,
+            key=lambda thread: (
+                thread.in_flight, _rotation_key(thread, cycle, nthreads)
+            ),
+        )
+
+
+class ConfidenceGatingPolicy(FetchPolicy):
+    """Deprioritise and gate threads with many low-confidence branches.
+
+    ``thresholds`` maps the in-flight low-confidence branch count onto the
+    paper's bandwidth levels: below ``thresholds[0]`` a thread runs at FULL
+    bandwidth, then HALF, then QUARTER, and at ``thresholds[2]`` or more it
+    STALLs until some of its doubtful branches resolve.  The level's
+    ``active(cycle)`` duty cycle decides whether the thread may compete for
+    the port this cycle (exactly how the single-thread throttler spaces
+    fetch cycles); the priority among active threads is fewest doubtful
+    branches first, ICOUNT as the tie-break.
+    """
+
+    name = "confidence-gating"
+
+    def __init__(self, thresholds: Tuple[int, int, int] = (1, 2, 4)) -> None:
+        if len(thresholds) != 3 or not thresholds[0] < thresholds[1] < thresholds[2]:
+            raise ConfigurationError(
+                f"thresholds must be three strictly ascending counts, "
+                f"got {thresholds!r}"
+            )
+        if thresholds[0] < 1:
+            raise ConfigurationError("the first threshold must be >= 1")
+        self.thresholds = tuple(thresholds)
+
+    def level_for(self, lowconf_inflight: int) -> BandwidthLevel:
+        """The fetch bandwidth level of a thread with this many doubtful
+        in-flight branches."""
+        half, quarter, stall = self.thresholds
+        if lowconf_inflight >= stall:
+            return BandwidthLevel.STALL
+        if lowconf_inflight >= quarter:
+            return BandwidthLevel.QUARTER
+        if lowconf_inflight >= half:
+            return BandwidthLevel.HALF
+        return BandwidthLevel.FULL
+
+    def pick(self, processor, cycle: int):
+        active = []
+        for thread in processor.threads:
+            if not self.eligible(thread, cycle):
+                continue
+            level = self.level_for(thread.lowconf_inflight)
+            if not level.active(cycle):
+                thread.policy_gated_cycles += 1
+                continue
+            active.append(thread)
+        if not active:
+            return None
+        return self.choose(active, cycle, len(processor.threads))
+
+    def choose(self, eligible: List, cycle: int, nthreads: int):
+        return min(
+            eligible,
+            key=lambda thread: (
+                thread.lowconf_inflight,
+                thread.in_flight,
+                _rotation_key(thread, cycle, nthreads),
+            ),
+        )
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    ICountPolicy.name: ICountPolicy,
+    ConfidenceGatingPolicy.name: ConfidenceGatingPolicy,
+}
+
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_fetch_policy(name: str) -> FetchPolicy:
+    """Instantiate a fetch policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fetch policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+        ) from None

@@ -45,6 +45,21 @@ def derive_seed(base_seed: int, *labels: object) -> int:
     return state or _SPLITMIX_GAMMA
 
 
+def derive_thread_seed(base_seed: int, thread_id: int) -> int:
+    """Derive hardware-thread ``thread_id``'s seed from a mix's base seed.
+
+    Splitmix-style hashing (via :func:`derive_seed` with a dedicated
+    domain label) guarantees the per-thread streams are decorrelated even
+    for adjacent thread ids and never collide with the component labels
+    other subsystems derive from the same base — two copies of one
+    benchmark in a multi-program mix get genuinely different program
+    instances and behaviour streams.
+    """
+    if thread_id < 0:
+        raise ValueError(f"thread_id must be non-negative, got {thread_id}")
+    return derive_seed(base_seed, "hw-thread", thread_id)
+
+
 class XorShiftRNG:
     """A tiny deterministic RNG (xorshift64*) with simulation helpers."""
 

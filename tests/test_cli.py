@@ -100,6 +100,24 @@ def test_no_cache_flag_disables_the_cache(tmp_path, capsys):
     assert not cache_dir.exists() or not list(cache_dir.glob("*.json"))
 
 
+def test_bar_metric_rejects_unknown_names_with_choices():
+    from repro.cli import _BAR_METRICS, _bar_metric
+
+    for name in _BAR_METRICS:
+        assert _bar_metric(name) == _BAR_METRICS[name]
+    with pytest.raises(SystemExit) as excinfo:
+        _bar_metric("wattage")
+    message = str(excinfo.value)
+    assert "wattage" in message
+    for valid in sorted(_BAR_METRICS):
+        assert valid in message
+
+
+def test_unknown_bars_choice_rejected_at_the_parser():
+    with pytest.raises(SystemExit):
+        main(["figure1", "--bars", "wattage"])
+
+
 def test_figure1_with_export(tmp_path, capsys):
     csv_path = tmp_path / "fig1.csv"
     json_path = tmp_path / "fig1.json"

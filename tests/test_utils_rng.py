@@ -2,7 +2,44 @@
 
 import pytest
 
-from repro.utils.rng import XorShiftRNG, derive_seed, stateless_hash
+from repro.utils.rng import (
+    XorShiftRNG,
+    derive_seed,
+    derive_thread_seed,
+    stateless_hash,
+)
+
+
+def test_derive_thread_seed_deterministic():
+    assert derive_thread_seed(2003, 0) == derive_thread_seed(2003, 0)
+    assert derive_thread_seed(2003, 3) == derive_thread_seed(2003, 3)
+
+
+def test_derive_thread_seed_separates_threads_and_bases():
+    seeds = {derive_thread_seed(2003, tid) for tid in range(64)}
+    assert len(seeds) == 64
+    assert derive_thread_seed(2003, 0) != derive_thread_seed(2004, 0)
+    # Adjacent bases and thread ids never cross over.
+    assert derive_thread_seed(2003, 1) != derive_thread_seed(2004, 0)
+
+
+def test_derive_thread_seed_is_domain_separated():
+    # A thread seed must not collide with a plain integer-label derivation
+    # of the same values (splitmix domain separation via the label).
+    assert derive_thread_seed(7, 1) != derive_seed(7, 1)
+
+
+def test_derive_thread_seed_is_a_valid_xorshift_seed():
+    for tid in range(8):
+        seed = derive_thread_seed(0, tid)
+        assert seed != 0
+        rng = XorShiftRNG(seed)
+        assert 0.0 <= rng.random() < 1.0
+
+
+def test_derive_thread_seed_rejects_negative_ids():
+    with pytest.raises(ValueError):
+        derive_thread_seed(1, -1)
 
 
 def test_same_seed_same_stream():

@@ -1,0 +1,106 @@
+"""Trace record→write→parse→replay round-trips (workloads/trace.py)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.program.walker import TruePathOracle
+from repro.workloads.suite import benchmark_program
+from repro.workloads.trace import TraceReader, TraceRecord, TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """300 true-path records of a calibrated benchmark."""
+    oracle = TruePathOracle(benchmark_program("compress"), seed=123)
+    return TraceRecorder(oracle).record(300)
+
+
+def test_record_covers_branches_and_memory(recorded):
+    opcodes = {record.opcode for record in recorded}
+    assert "br_cond" in opcodes
+    assert any(record.is_cond_branch for record in recorded)
+    assert any(not record.is_cond_branch for record in recorded)
+    # Memory records carry real addresses; non-memory records carry zero.
+    mem = [r for r in recorded if r.opcode in ("load", "store")]
+    assert mem, "calibrated benchmarks always touch memory"
+    assert all(record.mem_address > 0 for record in mem)
+    non_mem = [r for r in recorded if r.opcode not in ("load", "store")]
+    assert all(record.mem_address == 0 for record in non_mem)
+
+
+def test_in_memory_record_matches_file_record(tmp_path, recorded):
+    path = tmp_path / "trace.txt"
+    oracle = TruePathOracle(benchmark_program("compress"), seed=123)
+    TraceRecorder(oracle).record_to_file(str(path), 300)
+    parsed = list(TraceReader(str(path)))
+    assert parsed == recorded
+
+
+def test_write_parse_round_trip_preserves_every_field(tmp_path, recorded):
+    path = tmp_path / "trace.txt"
+    with open(path, "w", encoding="ascii") as handle:
+        for r in recorded:
+            handle.write(
+                f"{r.address:x} {r.opcode} {int(r.taken)} "
+                f"{r.target_block} {r.mem_address:x}\n"
+            )
+    parsed = list(TraceReader(str(path)))
+    assert len(parsed) == len(recorded)
+    for original, reread in zip(recorded, parsed):
+        assert reread == original
+        assert reread.is_cond_branch == original.is_cond_branch
+
+
+def test_replay_matches_a_fresh_oracle_walk(recorded):
+    """A recorded trace replays the exact dynamic stream the oracle serves."""
+    oracle = TruePathOracle(benchmark_program("compress"), seed=123)
+    for index, record in enumerate(recorded):
+        dynamic = oracle.get(index)
+        assert record.address == dynamic.static.address
+        assert record.opcode == dynamic.static.opcode.value
+        assert record.taken == dynamic.taken
+        assert record.target_block == dynamic.target_block
+        assert record.mem_address == dynamic.mem_address
+
+
+def test_branch_edge_cases_round_trip(tmp_path):
+    """Taken/not-taken conditionals, negative targets and calls survive."""
+    records = [
+        TraceRecord(address=0x400000, opcode="br_cond", taken=True,
+                    target_block=7, mem_address=0),
+        TraceRecord(address=0x400004, opcode="br_cond", taken=False,
+                    target_block=-1, mem_address=0),
+        TraceRecord(address=0x400008, opcode="call", taken=True,
+                    target_block=3, mem_address=0),
+        TraceRecord(address=0x40000C, opcode="load", taken=False,
+                    target_block=-1, mem_address=0x1000_0040),
+        TraceRecord(address=0x400010, opcode="int_alu", taken=False,
+                    target_block=-1, mem_address=0),
+    ]
+    path = tmp_path / "edge.txt"
+    with open(path, "w", encoding="ascii") as handle:
+        for r in records:
+            handle.write(
+                f"{r.address:x} {r.opcode} {int(r.taken)} "
+                f"{r.target_block} {r.mem_address:x}\n"
+            )
+    parsed = list(TraceReader(str(path)))
+    assert parsed == records
+    assert [r.is_cond_branch for r in parsed] == [True, True, False, False, False]
+
+
+def test_malformed_record_raises_with_location(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("400000 br_cond 1 7 0\n400004 load 0\n", encoding="ascii")
+    with pytest.raises(WorkloadError, match="bad.txt:2"):
+        list(TraceReader(str(path)))
+
+
+def test_record_to_file_prunes_as_it_goes(tmp_path):
+    """Long recordings stay constant-memory (the oracle prunes behind)."""
+    oracle = TruePathOracle(benchmark_program("gzip"), seed=5)
+    path = tmp_path / "long.txt"
+    TraceRecorder(oracle).record_to_file(str(path), 10_000)
+    assert sum(1 for _ in TraceReader(str(path))) == 10_000
+    # Records behind the prune point are gone from the live oracle.
+    assert oracle._base > 0
