@@ -117,8 +117,9 @@ def _make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", default=None, help="write figure records to CSV")
     parser.add_argument("--json", default=None, help="write figure payload to JSON")
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="parallel simulation processes (default: 1, serial)",
+        "--jobs", type=int, default=None,
+        help="parallel simulation processes (default: the machine's CPU "
+        "count; must be >= 1)",
     )
     parser.add_argument(
         "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
@@ -153,6 +154,18 @@ def _make_parser() -> argparse.ArgumentParser:
         help="base seed of an SMT mix (smt only; default: the mix's seed)",
     )
     return parser
+
+
+def _effective_jobs(argument: Optional[int]) -> int:
+    """Validate ``--jobs`` and default it to the machine's CPU count."""
+    if argument is None:
+        return os.cpu_count() or 1
+    if argument < 1:
+        raise SystemExit(
+            f"--jobs must be >= 1, got {argument} "
+            "(omit it to use every CPU)"
+        )
+    return argument
 
 
 def _benchmark_list(argument: Optional[str]) -> Optional[List[str]]:
@@ -306,6 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_list()
         return 0
 
+    options.jobs = _effective_jobs(options.jobs)
     benchmarks = _benchmark_list(options.benchmarks)
     cache: Optional[ResultCache] = None
     if options.cache_dir and not options.no_cache:

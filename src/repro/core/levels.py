@@ -10,6 +10,14 @@ from __future__ import annotations
 
 import enum
 
+# Every period divides 4, so each level's schedule is exactly a 4-cycle
+# wheel: bit ``cycle & 3`` of the mask answers "active this cycle?".  The
+# pipeline consults the schedule every cycle for every armed heuristic —
+# a bitmask lookup instead of a modulo keeps it off the profile.
+# Index by ``int(level)``: FULL, HALF (cycles 0 and 2), QUARTER (cycle 0),
+# STALL.
+ACTIVE_WHEEL_MASKS = (0b1111, 0b0101, 0b0001, 0b0000)
+
 
 @enum.unique
 class BandwidthLevel(enum.IntEnum):
@@ -33,12 +41,7 @@ class BandwidthLevel(enum.IntEnum):
 
     def active(self, cycle: int) -> bool:
         """True if the throttled stage may operate on ``cycle``."""
-        period = self.period
-        if period == 0:
-            return False
-        if period == 1:
-            return True
-        return cycle % period == 0
+        return (ACTIVE_WHEEL_MASKS[self] >> (cycle & 3)) & 1 == 1
 
     @staticmethod
     def most_restrictive(a: "BandwidthLevel", b: "BandwidthLevel") -> "BandwidthLevel":

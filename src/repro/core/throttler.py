@@ -21,9 +21,11 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.confidence.base import ConfidenceLevel
-from repro.core.levels import BandwidthLevel
+from repro.core.levels import ACTIVE_WHEEL_MASKS, BandwidthLevel
 from repro.core.policy import ThrottleAction, ThrottlePolicy
 from repro.isa.instruction import DynamicInstruction
+
+_FULL_MASK = ACTIVE_WHEEL_MASKS[BandwidthLevel.FULL]
 
 
 class SpeculationController:
@@ -104,9 +106,13 @@ class SelectiveThrottler(SpeculationController):
         self.policy = policy
         self.escalate_only = escalate_only
         self._tokens: Dict[int, _Token] = {}
-        # Aggregates recomputed on arm/release.
+        # Aggregates recomputed on arm/release; the levels' 4-cycle wheel
+        # masks are cached alongside so the per-cycle hooks do a bitmask
+        # probe instead of an enum method call.
         self._fetch_level = BandwidthLevel.FULL
         self._decode_level = BandwidthLevel.FULL
+        self._fetch_mask = _FULL_MASK
+        self._decode_mask = _FULL_MASK
         self._decode_oldest: Optional[int] = None
         self._no_select_oldest: Optional[int] = None
         # Statistics.
@@ -148,6 +154,8 @@ class SelectiveThrottler(SpeculationController):
             youngest = max(self._tokens.values(), key=lambda token: token.seq)
             self._fetch_level = youngest.action.fetch
             self._decode_level = youngest.action.decode
+            self._fetch_mask = ACTIVE_WHEEL_MASKS[self._fetch_level]
+            self._decode_mask = ACTIVE_WHEEL_MASKS[self._decode_level]
             self._decode_oldest = (
                 youngest.seq
                 if youngest.action.decode is not BandwidthLevel.FULL
@@ -177,17 +185,19 @@ class SelectiveThrottler(SpeculationController):
                 oldest_no_select = token.seq
         self._fetch_level = fetch
         self._decode_level = decode
+        self._fetch_mask = ACTIVE_WHEEL_MASKS[fetch]
+        self._decode_mask = ACTIVE_WHEEL_MASKS[decode]
         self._decode_oldest = oldest_decode
         self._no_select_oldest = oldest_no_select
 
     def fetch_allowed(self, cycle: int) -> bool:
-        return self._fetch_level.active(cycle)
+        return (self._fetch_mask >> (cycle & 3)) & 1 == 1
 
     def blocks_decode(self, cycle: int, instruction: DynamicInstruction) -> bool:
         oldest = self._decode_oldest
         if oldest is None or instruction.seq <= oldest:
             return False
-        return not self._decode_level.active(cycle)
+        return (self._decode_mask >> (cycle & 3)) & 1 == 0
 
     def blocks_selection(self, instruction: DynamicInstruction) -> bool:
         oldest = self._no_select_oldest

@@ -11,17 +11,31 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.isa.opcodes import BRANCH_OPCODES, Opcode, OpClass, opcode_class, opcode_latency
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    Opcode,
+    OpClass,
+    fu_code_of,
+    opcode_class,
+    opcode_latency,
+)
 
 
 class StaticInstruction:
-    """One instruction of the synthetic program text."""
+    """One instruction of the synthetic program text.
+
+    Everything the per-cycle pipeline loops need to know about an
+    instruction — class, latency, issue-slot code, memory/branch flags —
+    is precomputed here once at program generation, so the hot path reads
+    plain attributes instead of hashing enum members.
+    """
 
     __slots__ = (
         "address",
         "opcode",
         "op_class",
         "latency",
+        "fu_code",
         "dest",
         "sources",
         "block_id",
@@ -30,6 +44,9 @@ class StaticInstruction:
         "mem_footprint",
         "is_branch",
         "is_cond_branch",
+        "is_load",
+        "is_store",
+        "is_mem",
     )
 
     def __init__(
@@ -47,6 +64,7 @@ class StaticInstruction:
         self.opcode = opcode
         self.op_class = opcode_class(opcode)
         self.latency = opcode_latency(opcode)
+        self.fu_code = fu_code_of(self.op_class)
         self.dest = dest
         self.sources = sources
         self.block_id = block_id
@@ -58,6 +76,9 @@ class StaticInstruction:
         self.mem_footprint = mem_footprint
         self.is_branch = opcode in BRANCH_OPCODES
         self.is_cond_branch = opcode is Opcode.BR_COND
+        self.is_load = opcode is Opcode.LOAD
+        self.is_store = opcode is Opcode.STORE
+        self.is_mem = self.is_load or self.is_store
 
     def __repr__(self) -> str:
         return (
@@ -89,7 +110,6 @@ class DynamicInstruction:
         "thread_id",
         # control flow
         "predicted_taken",
-        "predicted_target",
         "actual_taken",
         "actual_target",
         "mispredicted",
@@ -109,18 +129,17 @@ class DynamicInstruction:
         # rename
         "phys_dest",
         "phys_sources",
-        "prev_phys_dest",
         # issue state
         "ready_sources",
-        "no_select",
         "issued",
         "completed",
-        "rob_index",
-        "lsq_index",
         "throttle_token",
+        # cycle this instruction becomes visible to the consumer of the
+        # front-end latch it currently sits in (set by the producing stage
+        # before every latch insertion)
+        "latch_ready",
         # memory
         "mem_address",
-        "mem_latency",
         # timing marks (cycle numbers, -1 = not yet)
         "fetch_cycle",
         "decode_cycle",
@@ -135,53 +154,62 @@ class DynamicInstruction:
         "unit_accesses",
     )
 
-    def __init__(self, seq: int, static: StaticInstruction) -> None:
+    def __init__(
+        self,
+        seq: int,
+        static: StaticInstruction,
+        thread_id: int = 0,
+        fetch_cycle: int = -1,
+        on_wrong_path: bool = False,
+    ) -> None:
         self.seq = seq
         self.static = static
         self.pc = static.address
-        self.thread_id = 0
-
-        self.predicted_taken = False
-        self.predicted_target = 0
-        self.actual_taken = False
-        self.actual_target = 0
-        self.mispredicted = False
-        self.confidence = None
-        self.lowconf = False
-        self.bpred_snapshot = None
-        self.ras_checkpoint = None
-        self.rename_checkpoint = None
-        self.resume_mode = None
-        self.resume_true_index = -1
-        self.resume_wp_cursor = None
-        self.true_index = -1
+        self.thread_id = thread_id
 
         self.phys_dest = -1
-        self.phys_sources: Tuple[int, ...] = ()
-        self.prev_phys_dest = -1
 
-        self.ready_sources = 0
-        self.no_select = False
         self.issued = False
         self.completed = False
-        self.rob_index = -1
-        self.lsq_index = -1
-        self.throttle_token = None
 
-        self.mem_address = 0
-        self.mem_latency = 0
-
-        self.fetch_cycle = -1
+        self.fetch_cycle = fetch_cycle
         self.decode_cycle = -1
         self.rename_cycle = -1
         self.issue_cycle = -1
         self.complete_cycle = -1
         self.commit_cycle = -1
 
-        self.on_wrong_path = False
+        self.on_wrong_path = on_wrong_path
         self.squashed = False
 
         self.unit_accesses = None  # lazily attached by the power model
+
+        # Lazily-populated slots (left unset for speed — the fetch loop
+        # creates hundreds of thousands of instances per run):
+        #
+        # * control-flow state is only set/read on control instructions
+        #   (every read sits behind an ``is_branch``/``is_cond_branch``
+        #   guard), so non-branches skip those stores entirely;
+        # * ``true_index`` is stamped at fetch on true-path instructions
+        #   and only read at commit (wrong-path work never commits);
+        # * ``mem_address`` is stamped at fetch on memory instructions and
+        #   only read behind ``is_load``/``is_store`` guards;
+        # * ``phys_sources``/``ready_sources``/``latch_ready`` are written
+        #   at rename/dispatch/latch-insertion before any read.
+        if static.is_branch:
+            self.predicted_taken = False
+            self.actual_taken = False
+            self.actual_target = 0
+            self.mispredicted = False
+            self.confidence = None
+            self.lowconf = False
+            self.bpred_snapshot = None
+            self.ras_checkpoint = None
+            self.rename_checkpoint = None
+            self.resume_mode = None
+            self.resume_true_index = -1
+            self.resume_wp_cursor = None
+            self.throttle_token = None
 
     @property
     def opcode(self) -> Opcode:
@@ -206,12 +234,12 @@ class DynamicInstruction:
     @property
     def is_load(self) -> bool:
         """True for loads."""
-        return self.static.opcode is Opcode.LOAD
+        return self.static.is_load
 
     @property
     def is_store(self) -> bool:
         """True for stores."""
-        return self.static.opcode is Opcode.STORE
+        return self.static.is_store
 
     def __repr__(self) -> str:
         flags = []

@@ -100,6 +100,41 @@ BRANCH_OPCODES = frozenset(
 )
 MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
 
+# ----------------------------------------------------------------------
+# Issue-slot codes: small-integer functional-unit classes for the hot path
+# ----------------------------------------------------------------------
+#
+# The per-cycle select loop claims issue slots millions of times per run;
+# indexing a list with a small int avoids hashing an :class:`OpClass` enum
+# member on every claim.  Branches resolve on the integer ALUs, so they
+# share code 0; loads and stores keep distinct codes (loads must also check
+# for a free MSHR) but share the memory ports inside the pool.
+
+FU_INT_ALU = 0
+FU_INT_MULT = 1
+FU_MEM_READ = 2
+FU_MEM_WRITE = 3
+FU_FP_ALU = 4
+FU_FP_MULT = 5
+FU_NOP = 6
+NUM_FU_CODES = 7
+
+_CLASS_FU_CODE = {
+    OpClass.INT_ALU: FU_INT_ALU,
+    OpClass.BRANCH: FU_INT_ALU,
+    OpClass.INT_MULT: FU_INT_MULT,
+    OpClass.MEM_READ: FU_MEM_READ,
+    OpClass.MEM_WRITE: FU_MEM_WRITE,
+    OpClass.FP_ALU: FU_FP_ALU,
+    OpClass.FP_MULT: FU_FP_MULT,
+    OpClass.NOP: FU_NOP,
+}
+
+
+def fu_code_of(op_class: OpClass) -> int:
+    """The issue-slot code of a functional-unit class."""
+    return _CLASS_FU_CODE[op_class]
+
 
 def opcode_class(opcode: Opcode) -> OpClass:
     """Return the functional-unit class of an opcode."""

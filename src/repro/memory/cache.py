@@ -75,6 +75,9 @@ class Cache:
         line = address >> self._offset_bits
         tag_set = self._sets[line & self._set_mask]
         self.stats.accesses += 1
+        # MRU hit: the overwhelmingly common case, no LRU reordering.
+        if tag_set and tag_set[0] == line:
+            return True
         try:
             position = tag_set.index(line)
         except ValueError:

@@ -66,6 +66,37 @@ class MemoryHierarchy:
         result.latency += self.extra_dcache_latency
         return result
 
+    # ------------------------------------------------------------------
+    # Tuple fast paths for the per-cycle pipeline stages
+    # ------------------------------------------------------------------
+    #
+    # Identical cache/TLB state transitions and latencies as the
+    # AccessResult methods above, returned as a plain ``(latency,
+    # l1_hit)`` pair: the stage kernel performs one of these per fetched
+    # line and per issued memory op, and the result-object allocation was
+    # measurable there.
+
+    def fetch_line(self, address: int):
+        """Instruction fetch as ``(latency, l1_hit)``."""
+        if self.icache.access(address):
+            return self.l1_latency, True
+        if self.l2.access(address):
+            return self.l1_latency + self.l2_latency, False
+        return self.l1_latency + self.memory_latency, False
+
+    def load_data(self, address: int):
+        """Data load as ``(latency, l1_hit)`` (extra D-cache pipe included)."""
+        latency = self.l1_latency + self.tlb.access(address)
+        if self.dcache.access(address):
+            return latency + self.extra_dcache_latency, True
+        if self.l2.access(address):
+            return latency + self.l2_latency + self.extra_dcache_latency, False
+        return latency + self.memory_latency + self.extra_dcache_latency, False
+
+    def store_data(self, address: int):
+        """Data store as ``(latency, l1_hit)`` (write-allocate, like a load)."""
+        return self.load_data(address)
+
     def _access(self, l1: Cache, address: int, translate: bool) -> AccessResult:
         latency = self.l1_latency
         if translate:

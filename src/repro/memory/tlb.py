@@ -29,6 +29,10 @@ class TLB:
         """Translate; return the added latency (0 on hit, penalty on miss)."""
         page = address >> self._page_bits
         self.accesses += 1
+        pages = self._pages
+        # MRU hit: the overwhelmingly common case, no LRU reordering.
+        if pages and pages[0] == page:
+            return 0
         try:
             position = self._pages.index(page)
         except ValueError:

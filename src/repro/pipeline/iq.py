@@ -10,11 +10,14 @@ signal is suppressed — the paper's no-select bit (Figure 2 right).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from operator import attrgetter
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.isa.instruction import DynamicInstruction
 from repro.pipeline.resources import FunctionalUnitPool
+
+_BY_SEQ = attrgetter("seq")
 
 
 class IssueQueue:
@@ -24,46 +27,56 @@ class IssueQueue:
         if size <= 0:
             raise SimulationError("issue queue size must be positive")
         self.size = size
-        self._count = 0
+        # The queue state is public: the rename/dispatch and select/issue
+        # stage hot loops manipulate it in place (with this class's
+        # methods as the reference semantics for every mutation).
+        # Occupancy.
+        self.count = 0
         # Ready, unissued instructions in arrival (~program) order.
-        self._ready: List[DynamicInstruction] = []
+        self.ready_list: List[DynamicInstruction] = []
         # Tag -> instructions waiting on it.
-        self._waiters: Dict[int, List[DynamicInstruction]] = {}
+        self.waiters: Dict[int, List[DynamicInstruction]] = {}
         self.wakeup_broadcasts = 0
 
     def __len__(self) -> int:
-        return self._count
+        return self.count
 
     @property
     def full(self) -> bool:
         """True when dispatch must stall."""
-        return self._count >= self.size
+        return self.count >= self.size
 
     def dispatch(self, instruction: DynamicInstruction, wait_tags) -> None:
         """Insert a renamed instruction with its pending source tags."""
-        if self.full:
+        if self.count >= self.size:
             raise SimulationError("dispatch into a full issue queue")
-        self._count += 1
+        self.count += 1
         pending = 0
+        waiters = self.waiters
         for tag in wait_tags:
             pending += 1
-            self._waiters.setdefault(tag, []).append(instruction)
+            bucket = waiters.get(tag)
+            if bucket is None:
+                waiters[tag] = [instruction]
+            else:
+                bucket.append(instruction)
         instruction.ready_sources = pending
         if pending == 0:
-            self._ready.append(instruction)
+            self.ready_list.append(instruction)
 
     def wakeup(self, tag: int) -> int:
         """Broadcast a completed tag; returns the number of comparisons."""
-        waiters = self._waiters.pop(tag, None)
+        waiters = self.waiters.pop(tag, None)
         if not waiters:
             return 0
         woken = 0
+        ready = self.ready_list
         for instruction in waiters:
             if instruction.squashed or instruction.issued:
                 continue
             instruction.ready_sources -= 1
             if instruction.ready_sources == 0:
-                self._ready.append(instruction)
+                ready.append(instruction)
             woken += 1
         self.wakeup_broadcasts += 1
         return woken
@@ -72,13 +85,20 @@ class IssueQueue:
         self,
         issue_width: int,
         fu_pool: FunctionalUnitPool,
-        blocks_selection: Callable[[DynamicInstruction], bool],
+        blocks_selection: Optional[Callable[[DynamicInstruction], bool]] = None,
     ) -> List[DynamicInstruction]:
-        """Pick up to ``issue_width`` ready instructions, oldest first."""
-        ready = self._ready
+        """Pick up to ``issue_width`` ready instructions, oldest first.
+
+        ``blocks_selection`` is the controller's no-select hook; ``None``
+        means no controller suppresses request signals (the baseline), so
+        the per-instruction call is skipped entirely.
+        """
+        ready = self.ready_list
         if not ready:
             return []
-        ready.sort(key=lambda instruction: instruction.seq)
+        if len(ready) > 1:
+            ready.sort(key=_BY_SEQ)
+        try_claim_code = fu_pool.try_claim_code
         selected: List[DynamicInstruction] = []
         survivors: List[DynamicInstruction] = []
         for instruction in ready:
@@ -87,16 +107,16 @@ class IssueQueue:
             if len(selected) >= issue_width:
                 survivors.append(instruction)
                 continue
-            if blocks_selection(instruction):
+            if blocks_selection is not None and blocks_selection(instruction):
                 survivors.append(instruction)
                 continue
-            if not fu_pool.try_claim(instruction.op_class):
+            if not try_claim_code(instruction.static.fu_code):
                 survivors.append(instruction)
                 continue
             instruction.issued = True
-            self._count -= 1
+            self.count -= 1
             selected.append(instruction)
-        self._ready = survivors
+        self.ready_list = survivors
         return selected
 
     def squash_younger(self, seq: int) -> None:
@@ -108,18 +128,18 @@ class IssueQueue:
         """
         kept_ready = [
             instruction
-            for instruction in self._ready
+            for instruction in self.ready_list
             if instruction.seq <= seq and not instruction.squashed
         ]
-        self._ready = kept_ready
+        self.ready_list = kept_ready
 
     def note_squashed(self, instruction: DynamicInstruction) -> None:
         """Account the removal of one squashed, unissued instruction."""
         if not instruction.issued:
-            self._count -= 1
-            if self._count < 0:
+            self.count -= 1
+            if self.count < 0:
                 raise SimulationError("issue queue count went negative")
 
     def forget_tag(self, tag: int) -> None:
         """Drop the waiter list of a squashed producer."""
-        self._waiters.pop(tag, None)
+        self.waiters.pop(tag, None)

@@ -18,25 +18,26 @@ class LoadStoreQueue:
         if size <= 0:
             raise SimulationError("LSQ size must be positive")
         self.size = size
-        self._occupied = 0
+        # Occupancy; public so the dispatch loop can read it without a
+        # property call (never written from outside this class).
+        self.occupied = 0
 
     def __len__(self) -> int:
-        return self._occupied
+        return self.occupied
 
     @property
     def full(self) -> bool:
         """True when a memory op cannot dispatch this cycle."""
-        return self._occupied >= self.size
+        return self.occupied >= self.size
 
     def allocate(self, instruction: DynamicInstruction) -> None:
         """Reserve an entry at dispatch."""
-        if self.full:
+        if self.occupied >= self.size:
             raise SimulationError("allocate into a full LSQ")
-        instruction.lsq_index = self._occupied
-        self._occupied += 1
+        self.occupied += 1
 
     def release(self) -> None:
         """Free an entry (commit or squash of a memory op)."""
-        if self._occupied <= 0:
+        if self.occupied <= 0:
             raise SimulationError("release from an empty LSQ")
-        self._occupied -= 1
+        self.occupied -= 1

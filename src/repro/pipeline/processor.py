@@ -1,9 +1,12 @@
-"""The cycle-level out-of-order processor.
+"""The cycle-level out-of-order processor kernel.
 
-One :class:`Processor` couples a synthetic program to the Table-3
+One :class:`Processor` couples synthetic programs to the Table-3
 microarchitecture and a speculation controller (baseline, Selective
-Throttling, Pipeline Gating or an oracle).  Each cycle runs the stages in
-reverse pipeline order::
+Throttling, Pipeline Gating or an oracle).  The per-cycle loop is a
+**stage pipeline**: five components from :mod:`repro.pipeline.stages`
+(fetch, decode+rename, select/issue, execute/writeback, commit+recover)
+with explicit latch interfaces, driven in reverse pipeline order by a
+:class:`~repro.pipeline.stages.scheduler.CycleScheduler`::
 
     commit -> writeback/resolve -> issue/select -> rename/dispatch
            -> decode -> fetch -> power accounting
@@ -16,20 +19,26 @@ instructions carry their per-unit access tallies into the power model's
 wasted pool — that is what reproduces the paper's Table 1.
 
 **Hardware threads.** All per-thread state — the front-end cursors, the
-branch predictor, confidence estimator, BTB, RAS, the in-order pipes, and
+branch predictor, confidence estimator, BTB, RAS, the in-order latches, and
 the thread's back-end partition (ROB/IQ/LSQ/renamer) — lives in a
-:class:`ThreadContext`.  The :class:`Processor` drives a list of contexts
-sharing the functional units, memory hierarchy, power model and cycle
-counter; the classic single-program constructor builds exactly one context,
-so the baseline machine is the one-thread special case of the same code
-path.  :class:`repro.smt.core.SmtProcessor` instantiates several contexts
-plus a fetch policy to model an SMT core.
+:class:`ThreadContext`.  The kernel drives a list of contexts sharing the
+functional units, memory hierarchy, power model and cycle counter; the
+classic single-program constructor builds exactly one context, so the
+baseline machine is the one-thread instantiation of the same kernel.
+:class:`repro.smt.core.SmtProcessor` instantiates several contexts plus a
+fetch policy to model an SMT core.
+
+Occupancy that other components need every cycle — total ROB/IQ/LSQ
+entries across threads (the shared-capacity caps of an SMT core, and the
+ROB occupancy that drives clock-tree power) — is maintained
+**incrementally** on the kernel (``rob_count``/``iq_count``/``lsq_count``)
+by the stages that move instructions, instead of re-summing the threads'
+structures every cycle.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bpred.base import BranchPredictor
 from repro.bpred.bimodal import BimodalPredictor
@@ -50,8 +59,6 @@ from repro.confidence.selfconf import (
 )
 from repro.core.throttler import NullController, SpeculationController
 from repro.errors import ConfigurationError, SimulationError
-from repro.isa.instruction import DynamicInstruction
-from repro.isa.opcodes import Opcode
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.iq import IssueQueue
@@ -59,22 +66,13 @@ from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.renamer import RegisterRenamer
 from repro.pipeline.resources import FunctionalUnitPool
 from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.stages.latch import CompletionLatch, PipeLatch
+from repro.pipeline.stages.scheduler import CycleScheduler
 from repro.pipeline.stats import SimStats
 from repro.power.model import ClockGatingStyle, PowerModel
-from repro.power.units import PowerUnit, UnitPowerTable
+from repro.power.units import UnitPowerTable
 from repro.program.cfg import Program
 from repro.program.walker import TruePathOracle, WrongPathNavigator
-
-_ICACHE = int(PowerUnit.ICACHE)
-_BPRED = int(PowerUnit.BPRED)
-_REGFILE = int(PowerUnit.REGFILE)
-_RENAME = int(PowerUnit.RENAME)
-_WINDOW = int(PowerUnit.WINDOW)
-_LSQ = int(PowerUnit.LSQ)
-_ALU = int(PowerUnit.ALU)
-_DCACHE = int(PowerUnit.DCACHE)
-_DCACHE2 = int(PowerUnit.DCACHE2)
-_RESULTBUS = int(PowerUnit.RESULTBUS)
 
 # Address-space separation between hardware threads: programs are generated
 # over the same synthetic address ranges, so each thread's code and data are
@@ -124,16 +122,23 @@ def build_estimator(config: ProcessorConfig) -> Optional[ConfidenceEstimator]:
     raise ConfigurationError(f"unknown confidence kind {kind!r}")
 
 
+_BASE = SpeculationController
+
+
 class ThreadContext:
     """Everything one hardware thread owns.
 
     Front-end: program, prediction structures, fetch cursors and the two
-    in-order pipes.  Back-end partition: renamer, ROB, IQ and LSQ (each
+    in-order latches.  Back-end partition: renamer, ROB, IQ and LSQ (each
     thread commits in its own program order and recovers its own branch
     mispredictions, so these are private; capacity sharing across threads
-    is enforced by the processor when configured).  The per-thread counters
-    feed the SMT fairness/throughput metrics and reset with the measured
-    window.
+    is enforced by the kernel's shared caps when configured).  The
+    per-thread counters feed the SMT fairness/throughput metrics and reset
+    with the measured window.
+
+    The ``ctrl_*`` flags cache which :class:`SpeculationController` hooks
+    the thread's controller actually overrides, so the stage hot loops
+    skip the no-op base-class calls of the unthrottled baseline entirely.
     """
 
     def __init__(
@@ -161,6 +166,27 @@ class ThreadContext:
         self.oracle = TruePathOracle(program, seed)
         self.navigator = WrongPathNavigator(program, seed)
 
+        # Controller capability flags (see class docstring).
+        ctrl_type = type(controller)
+        self.ctrl_gates_fetch = ctrl_type.fetch_allowed is not _BASE.fetch_allowed
+        self.ctrl_blocks_decode = (
+            ctrl_type.blocks_decode is not _BASE.blocks_decode
+        )
+        self.ctrl_blocks_selection = (
+            ctrl_type.blocks_selection is not _BASE.blocks_selection
+        )
+        self.ctrl_has_fetch_hook = (
+            ctrl_type.on_branch_fetched is not _BASE.on_branch_fetched
+        )
+        self.ctrl_has_resolve_hook = (
+            ctrl_type.on_branch_resolved is not _BASE.on_branch_resolved
+        )
+        self.ctrl_has_squash_hook = (
+            ctrl_type.on_branch_squashed is not _BASE.on_branch_squashed
+        )
+        # Constant per controller instance (oracle-fetch mode).
+        self.ctrl_blocks_wp_fetch = controller.blocks_wrong_path_fetch
+
         # Fetch state.
         self.fetch_mode = "true"
         self.true_index = 0
@@ -170,9 +196,9 @@ class ThreadContext:
         self.unresolved_mispredicts = 0
         self.fetch_buffer = fetch_buffer
 
-        # In-order front-end pipes: deques of (ready_cycle, instruction).
-        self.fetch_pipe = deque()
-        self.decode_pipe = deque()
+        # In-order front-end latches (fetch->decode, decode->rename).
+        self.fetch_latch = PipeLatch()
+        self.decode_latch = PipeLatch()
 
         # Back-end partition.
         self.renamer = RegisterRenamer()
@@ -199,13 +225,13 @@ class ThreadContext:
 
     @property
     def front_end_occupancy(self) -> int:
-        """Instructions currently in the in-order front-end pipes."""
-        return len(self.fetch_pipe) + len(self.decode_pipe)
+        """Instructions currently in the in-order front-end latches."""
+        return len(self.fetch_latch.entries) + len(self.decode_latch.entries)
 
     @property
     def in_flight(self) -> int:
-        """ICOUNT-style pre-issue occupancy (pipes + issue queue)."""
-        return self.front_end_occupancy + len(self.iq)
+        """ICOUNT-style pre-issue occupancy (latches + issue queue)."""
+        return self.front_end_occupancy + self.iq.count
 
     def reset_measurement(self) -> None:
         """Zero the measured-window counters; keep microarchitectural state."""
@@ -223,9 +249,11 @@ class Processor:
     """Cycle-level model of the paper's simulated machine.
 
     The classic constructor builds a one-thread machine around a single
-    program — bit-identical to the pre-SMT model.  Subclasses (the SMT
-    core) populate ``self.threads`` with several contexts and set
-    ``self.fetch_policy`` before simulation.
+    program — bit-identical to the pre-refactor monolithic core (the
+    golden-fingerprint sweep in ``tests/test_stage_kernel_parity.py``
+    enforces it).  Subclasses (the SMT core) populate ``self.threads``
+    with several contexts and set ``self.fetch_policy`` before calling
+    :meth:`_finish_threads`, which instantiates the stage scheduler.
     """
 
     def __init__(
@@ -284,29 +312,38 @@ class Processor:
         )
 
         self.cycle = 0
-        self._seq = 0
-        self._line_shift = config.line_bytes.bit_length() - 1
+        # Global fetch-order sequence (tags, select order, squash ages).
+        self.seq = 0
 
         self.fu_pool = FunctionalUnitPool(config)
-        self._completions: Dict[int, List[DynamicInstruction]] = {}
+        # Execute -> writeback latch.
+        self.completions = CompletionLatch()
+
+        # Incremental occupancy: total ROB/IQ/LSQ entries over all threads,
+        # updated by the stages at dispatch/issue/commit/squash.
+        self.rob_count = 0
+        self.iq_count = 0
+        self.lsq_count = 0
 
         self.stats = SimStats()
         # SMT hooks; the single-thread machine leaves them inert.
         self.fetch_policy = None
-        self._shared_caps: Optional[Tuple[int, int, int]] = None
+        self.shared_caps: Optional[Tuple[int, int, int]] = None
         # Optional observer with on_commit(instr, cycle) / on_squash(instr,
         # cycle) callbacks (see repro.tracing); None costs nothing.
         self.observer = None
 
     def _finish_threads(self) -> None:
-        """Derived totals; call after ``self.threads`` is populated."""
-        if self._shared_caps is not None:
+        """Derived totals and the stage kernel; call once ``self.threads``
+        is populated."""
+        if self.shared_caps is not None:
             # Shared back-end: every thread's ROB is full-size but the
             # dispatch cap bounds total in-flight — occupancy (which
             # drives clock-tree power) is over the *shared* capacity.
-            self._total_rob_size = self._shared_caps[0]
+            self.total_rob_size = self.shared_caps[0]
         else:
-            self._total_rob_size = sum(thread.rob.size for thread in self.threads)
+            self.total_rob_size = sum(thread.rob.size for thread in self.threads)
+        self.scheduler = CycleScheduler(self)
 
     # ------------------------------------------------------------------
     # Single-thread aliases (the overwhelmingly common configuration)
@@ -391,605 +428,19 @@ class Processor:
             thread.reset_measurement()
 
     def _run_until(self, instructions: int) -> None:
-        base = self.stats.committed
+        stats = self.stats
+        base = stats.committed
         target = base + instructions
         limit = self.cycle + instructions * 400 + 100_000
-        while self.stats.committed < target:
-            self.step()
+        step = self.scheduler.step
+        while stats.committed < target:
+            step()
             if self.cycle > limit:
                 raise SimulationError(
-                    f"no forward progress: {self.stats.committed - base} of "
+                    f"no forward progress: {stats.committed - base} of "
                     f"{instructions} instructions after {self.cycle} cycles"
                 )
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
-        cycle = self.cycle
-        activity = [0] * 11
-        self._commit(cycle, activity)
-        self._complete(cycle, activity)
-        self._issue(cycle, activity)
-        self._rename(cycle, activity)
-        self._decode(cycle)
-        self._fetch(cycle, activity)
-        threads = self.threads
-        if len(threads) == 1:
-            in_flight = len(threads[0].rob)
-            occupancy = threads[0].rob.occupancy
-        else:
-            in_flight = sum(len(thread.rob) for thread in threads)
-            occupancy = in_flight / self._total_rob_size
-        self.power.end_cycle(activity, occupancy)
-        self.power.note_instr_cycles(in_flight)
-        self.stats.cycles += 1
-        self.cycle = cycle + 1
-
-    # ------------------------------------------------------------------
-    # Stage: commit
-    # ------------------------------------------------------------------
-
-    def _commit(self, cycle: int, activity: List[int]) -> None:
-        threads = self.threads
-        count = len(threads)
-        budget = self.config.commit_width
-        for offset in range(count):
-            if budget <= 0:
-                break
-            thread = threads[(cycle + offset) % count]
-            budget -= self._commit_thread(thread, cycle, activity, budget)
-
-    def _commit_thread(
-        self, thread: ThreadContext, cycle: int, activity: List[int], budget: int
-    ) -> int:
-        stats = self.stats
-        rob = thread.rob
-        committed = 0
-        while committed < budget:
-            head = rob.head()
-            if head is None or not head.completed:
-                break
-            rob.pop_head()
-            head.commit_cycle = cycle
-            tally = head.unit_accesses
-            if head.phys_dest >= 0:
-                activity[_REGFILE] += 1
-                tally[_REGFILE] += 1
-            opcode = head.opcode
-            if opcode is Opcode.STORE:
-                result = self.memory.store(head.mem_address)
-                activity[_DCACHE] += 1
-                tally[_DCACHE] += 1
-                if not result.l1_hit:
-                    activity[_DCACHE2] += 1
-                    tally[_DCACHE2] += 1
-                thread.lsq.release()
-            elif opcode is Opcode.LOAD:
-                thread.lsq.release()
-            elif head.is_cond_branch:
-                self._commit_branch(thread, head, activity)
-            self.power.credit_committed(head, cycle)
-            if self.observer is not None:
-                self.observer.on_commit(head, cycle)
-            stats.committed += 1
-            thread.committed += 1
-            committed += 1
-            if head.true_index >= 0:
-                thread.last_committed_true_index = head.true_index
-        thread.commits_since_prune += committed
-        if thread.commits_since_prune >= 8192:
-            thread.oracle.prune_before(thread.last_committed_true_index)
-            thread.commits_since_prune = 0
-        return committed
-
-    def _commit_branch(
-        self, thread: ThreadContext, instr: DynamicInstruction, activity: List[int]
-    ) -> None:
-        stats = self.stats
-        stats.cond_branches_committed += 1
-        thread.cond_branches_committed += 1
-        correct = not instr.mispredicted
-        if not correct:
-            stats.mispredictions_committed += 1
-            thread.mispredictions_committed += 1
-        thread.bpred.train(instr.pc, instr.actual_taken, instr.bpred_snapshot)
-        activity[_BPRED] += 1
-        instr.unit_accesses[_BPRED] += 1
-        if thread.confidence is not None:
-            thread.confidence.train(
-                instr.pc, correct, instr.bpred_snapshot, taken=instr.actual_taken
-            )
-            if instr.confidence is not None:
-                stats.confidence.record(instr.confidence, correct)
-        if instr.actual_taken and instr.actual_target >= 0:
-            target_address = thread.program.block(instr.actual_target).address
-            thread.btb.update(instr.pc, target_address)
-
-    # ------------------------------------------------------------------
-    # Stage: writeback / branch resolution
-    # ------------------------------------------------------------------
-
-    def _complete(self, cycle: int, activity: List[int]) -> None:
-        events = self._completions.pop(cycle, None)
-        if not events:
-            return
-        if len(events) > 1:
-            events.sort(key=lambda instruction: instruction.seq)
-        threads = self.threads
-        for instr in events:
-            if instr.squashed:
-                continue
-            thread = threads[instr.thread_id]
-            instr.completed = True
-            instr.complete_cycle = cycle
-            tally = instr.unit_accesses
-            if instr.phys_dest >= 0:
-                thread.renamer.mark_completed(instr.phys_dest)
-                activity[_RESULTBUS] += 1
-                tally[_RESULTBUS] += 1
-                woken = thread.iq.wakeup(instr.phys_dest)
-                if woken:
-                    activity[_WINDOW] += 1
-                    tally[_WINDOW] += 1
-            if instr.is_cond_branch:
-                if instr.lowconf:
-                    instr.lowconf = False
-                    thread.lowconf_inflight -= 1
-                thread.controller.on_branch_resolved(instr)
-                if instr.mispredicted:
-                    self._recover(thread, instr, cycle)
-
-    def _recover(
-        self, thread: ThreadContext, branch: DynamicInstruction, cycle: int
-    ) -> None:
-        """Squash the thread's younger instructions and redirect its fetch."""
-        stats = self.stats
-        stats.squashes += 1
-        # Remove every younger instruction of this thread, youngest first.
-        for instr in thread.rob.squash_younger(branch.seq):
-            self._squash_instr(thread, instr, cycle, in_backend=True)
-        thread.iq.squash_younger(branch.seq)
-        for _, instr in thread.fetch_pipe:
-            self._squash_instr(thread, instr, cycle, in_backend=False)
-        thread.fetch_pipe.clear()
-        for _, instr in thread.decode_pipe:
-            self._squash_instr(thread, instr, cycle, in_backend=False)
-        thread.decode_pipe.clear()
-
-        # Architectural repair.
-        thread.renamer.restore(branch.rename_checkpoint)
-        thread.bpred.restore(branch.bpred_snapshot, branch.actual_taken)
-        thread.ras.restore(branch.ras_checkpoint)
-
-        # Redirect fetch down the branch's actual path.
-        if branch.resume_mode == "true":
-            thread.fetch_mode = "true"
-            thread.true_index = branch.resume_true_index
-            thread.wp_cursor = None
-        else:
-            thread.fetch_mode = "wrong"
-            thread.wp_cursor = branch.resume_wp_cursor
-        thread.fetch_stall_until = cycle + self.config.redirect_penalty
-        thread.unresolved_mispredicts -= 1
-        if thread.unresolved_mispredicts < 0:
-            raise SimulationError("unresolved misprediction count underflow")
-
-    def _squash_instr(
-        self,
-        thread: ThreadContext,
-        instr: DynamicInstruction,
-        cycle: int,
-        in_backend: bool,
-    ) -> None:
-        instr.squashed = True
-        stats = self.stats
-        stats.squashed += 1
-        thread.squashed += 1
-        self.power.credit_squashed(instr, cycle)
-        if self.observer is not None:
-            self.observer.on_squash(instr, cycle)
-        if instr.is_cond_branch:
-            if instr.lowconf:
-                instr.lowconf = False
-                thread.lowconf_inflight -= 1
-            thread.controller.on_branch_squashed(instr)
-            # A mispredicted branch that already resolved was discounted at
-            # resolution; only still-outstanding ones are discounted here.
-            if instr.mispredicted and not instr.completed:
-                thread.unresolved_mispredicts -= 1
-        if not in_backend:
-            return
-        tag = instr.phys_dest
-        if tag >= 0:
-            thread.renamer.forget(tag)
-            thread.iq.forget_tag(tag)
-        if not instr.issued:
-            thread.iq.note_squashed(instr)
-        if instr.is_load or instr.is_store:
-            thread.lsq.release()
-
-    # ------------------------------------------------------------------
-    # Stage: issue / select
-    # ------------------------------------------------------------------
-
-    def _issue(self, cycle: int, activity: List[int]) -> None:
-        self.fu_pool.new_cycle(cycle)
-        threads = self.threads
-        count = len(threads)
-        budget = self.config.issue_width
-        stats = self.stats
-        extra_exec = self.config.extra_exec_latency
-        for offset in range(count):
-            if budget <= 0:
-                break
-            thread = threads[(cycle + offset) % count]
-            controller = thread.controller
-
-            def blocks(
-                instruction: DynamicInstruction, controller=controller
-            ) -> bool:
-                blocked = controller.blocks_selection(instruction)
-                if blocked:
-                    stats.selection_blocked += 1
-                return blocked
-
-            selected = thread.iq.select(budget, self.fu_pool, blocks)
-            if not selected:
-                continue
-            budget -= len(selected)
-            for instr in selected:
-                instr.issue_cycle = cycle
-                tally = instr.unit_accesses
-                activity[_WINDOW] += 1
-                tally[_WINDOW] += 1
-                activity[_ALU] += 1
-                tally[_ALU] += 1
-                latency = instr.static.latency + extra_exec
-                opcode = instr.opcode
-                if opcode is Opcode.LOAD:
-                    result = self.memory.load(instr.mem_address)
-                    activity[_DCACHE] += 1
-                    tally[_DCACHE] += 1
-                    if not result.l1_hit:
-                        activity[_DCACHE2] += 1
-                        tally[_DCACHE2] += 1
-                        # The miss occupies an MSHR until the fill returns;
-                        # squashing the load does not recall the fill.
-                        self.fu_pool.hold_mshr(cycle + result.latency)
-                    latency += result.latency
-                    instr.mem_latency = result.latency
-                if instr.is_load or instr.is_store:
-                    activity[_LSQ] += 1
-                    tally[_LSQ] += 1
-                stats.issued += 1
-                if instr.on_wrong_path:
-                    stats.issued_wrong_path += 1
-                self._completions.setdefault(cycle + latency, []).append(instr)
-
-    # ------------------------------------------------------------------
-    # Stage: rename / dispatch
-    # ------------------------------------------------------------------
-
-    def _rename(self, cycle: int, activity: List[int]) -> None:
-        threads = self.threads
-        count = len(threads)
-        budget = self.config.decode_width
-        for offset in range(count):
-            if budget <= 0:
-                break
-            thread = threads[(cycle + offset) % count]
-            budget -= self._rename_thread(thread, cycle, activity, budget)
-
-    def _shared_backend_full(self, is_mem: bool) -> bool:
-        """In shared-back-end mode, is a *total* structural cap exhausted?"""
-        caps = self._shared_caps
-        if caps is None:
-            return False
-        rob_cap, iq_cap, lsq_cap = caps
-        threads = self.threads
-        if sum(len(thread.rob) for thread in threads) >= rob_cap:
-            return True
-        if sum(len(thread.iq) for thread in threads) >= iq_cap:
-            return True
-        if is_mem and sum(len(thread.lsq) for thread in threads) >= lsq_cap:
-            return True
-        return False
-
-    def _rename_thread(
-        self, thread: ThreadContext, cycle: int, activity: List[int], budget: int
-    ) -> int:
-        pipe = thread.decode_pipe
-        rob = thread.rob
-        iq = thread.iq
-        lsq = thread.lsq
-        renamer = thread.renamer
-        stats = self.stats
-        renamed = 0
-        while renamed < budget and pipe:
-            ready_cycle, instr = pipe[0]
-            if ready_cycle > cycle:
-                break
-            if instr.squashed:
-                pipe.popleft()
-                continue
-            is_mem = instr.is_load or instr.is_store
-            if rob.full or iq.full or (is_mem and lsq.full):
-                break
-            if self._shared_backend_full(is_mem):
-                break
-            pipe.popleft()
-            instr.rename_cycle = cycle
-            waits = renamer.rename(instr)
-            tally = instr.unit_accesses
-            activity[_RENAME] += 1
-            tally[_RENAME] += 1
-            source_reads = len(instr.static.sources)
-            if source_reads:
-                activity[_REGFILE] += source_reads
-                tally[_REGFILE] += source_reads
-            activity[_WINDOW] += 1
-            tally[_WINDOW] += 1
-            if instr.is_cond_branch:
-                instr.rename_checkpoint = renamer.checkpoint()
-            rob.push(instr)
-            if is_mem:
-                lsq.allocate(instr)
-                activity[_LSQ] += 1
-                tally[_LSQ] += 1
-            iq.dispatch(instr, waits)
-            stats.renamed += 1
-            renamed += 1
-        return renamed
-
-    # ------------------------------------------------------------------
-    # Stage: decode
-    # ------------------------------------------------------------------
-
-    def _decode(self, cycle: int) -> None:
-        threads = self.threads
-        count = len(threads)
-        budget = self.config.decode_width
-        throttled = False
-        for offset in range(count):
-            if budget <= 0:
-                break
-            thread = threads[(cycle + offset) % count]
-            moved, thread_throttled = self._decode_thread(thread, cycle, budget)
-            budget -= moved
-            throttled = throttled or thread_throttled
-        if throttled:
-            self.stats.decode_throttled_cycles += 1
-
-    def _decode_thread(
-        self, thread: ThreadContext, cycle: int, budget: int
-    ) -> Tuple[int, bool]:
-        pipe = thread.fetch_pipe
-        out = thread.decode_pipe
-        controller = thread.controller
-        stats = self.stats
-        latency = self.config.decode_to_rename_latency
-        moved = 0
-        throttled = False
-        while moved < budget and pipe:
-            ready_cycle, instr = pipe[0]
-            if ready_cycle > cycle:
-                break
-            if instr.squashed:
-                pipe.popleft()
-                continue
-            if controller.blocks_decode(cycle, instr):
-                throttled = True
-                break
-            pipe.popleft()
-            instr.decode_cycle = cycle
-            out.append((cycle + latency, instr))
-            stats.decoded += 1
-            moved += 1
-        return moved, throttled
-
-    # ------------------------------------------------------------------
-    # Stage: fetch
-    # ------------------------------------------------------------------
-
-    def _fetch(self, cycle: int, activity: List[int]) -> None:
-        threads = self.threads
-        if len(threads) == 1:
-            self._fetch_thread(threads[0], cycle, activity)
-            return
-        if self.fetch_policy is None:
-            raise SimulationError("a multi-thread processor needs a fetch policy")
-        thread = self.fetch_policy.pick(self, cycle)
-        if thread is None:
-            return
-        self._fetch_thread(thread, cycle, activity)
-
-    def _fetch_thread(
-        self, thread: ThreadContext, cycle: int, activity: List[int]
-    ) -> None:
-        stats = self.stats
-        if cycle < thread.fetch_stall_until:
-            stats.redirect_stall_cycles += 1
-            return
-        controller = thread.controller
-        if not controller.fetch_allowed(cycle):
-            stats.fetch_throttled_cycles += 1
-            return
-        if controller.blocks_wrong_path_fetch and thread.fetch_mode == "wrong":
-            # Oracle fetch: wait at the misprediction until resolution.
-            return
-        capacity = thread.fetch_buffer - thread.front_end_occupancy
-        if capacity <= 0:
-            return
-
-        config = self.config
-        width = min(config.fetch_width, capacity)
-        max_taken = config.max_taken_branches_per_cycle
-        decode_latency = config.fetch_to_decode_latency
-        oracle = thread.oracle
-        navigator = thread.navigator
-        line_shift = self._line_shift
-        mem_offset = thread.mem_offset
-        thread_id = thread.thread_id
-        thread.fetch_cycles += 1
-
-        fetched = 0
-        taken_branches = 0
-        current_line = -1
-        while fetched < width:
-            on_true = thread.fetch_mode == "true"
-            if on_true:
-                record = oracle.get(thread.true_index)
-                static = record.static
-                actual_taken = record.taken
-                actual_target = record.target_block
-                mem_address = record.mem_address
-                next_cursor = None
-            else:
-                (static, actual_taken, actual_target,
-                 next_cursor, mem_address) = navigator.fetch_one(thread.wp_cursor)
-
-            line = (static.address + mem_offset) >> line_shift
-            if line != current_line:
-                result = self.memory.fetch(static.address + mem_offset)
-                if not result.l1_hit:
-                    activity[_ICACHE] += 1
-                    activity[_DCACHE2] += 1
-                    thread.fetch_stall_until = cycle + result.latency - 1
-                    stats.icache_stall_cycles += 1
-                    break
-                current_line = line
-
-            instr = DynamicInstruction(self._seq, static)
-            self._seq += 1
-            instr.thread_id = thread_id
-            instr.unit_accesses = [0] * 11
-            instr.fetch_cycle = cycle
-            instr.on_wrong_path = not on_true
-            instr.mem_address = mem_address + mem_offset if mem_address else 0
-            if on_true:
-                instr.true_index = thread.true_index
-            activity[_ICACHE] += 1
-            instr.unit_accesses[_ICACHE] += 1
-
-            stop_after = False
-            if static.is_branch:
-                stop_after = self._fetch_branch(
-                    thread, instr, actual_taken, actual_target, next_cursor,
-                    on_true, activity,
-                )
-                if instr.predicted_taken:
-                    taken_branches += 1
-            else:
-                if on_true:
-                    thread.true_index += 1
-                else:
-                    thread.wp_cursor = next_cursor
-
-            thread.fetch_pipe.append((cycle + decode_latency, instr))
-            stats.fetched += 1
-            thread.fetched += 1
-            if instr.on_wrong_path:
-                stats.fetched_wrong_path += 1
-                thread.fetched_wrong_path += 1
-            fetched += 1
-            if stop_after or taken_branches >= max_taken:
-                break
-
-    def _fetch_branch(
-        self,
-        thread: ThreadContext,
-        instr: DynamicInstruction,
-        actual_taken: bool,
-        actual_target: int,
-        next_cursor,
-        on_true: bool,
-        activity: List[int],
-    ) -> bool:
-        """Handle a control instruction at fetch.  Returns True to stop the
-        fetch group after this instruction (BTB bubble, oracle stall, or a
-        divergence onto the wrong path)."""
-        stats = self.stats
-        instr.actual_taken = actual_taken
-        instr.actual_target = actual_target
-        tally = instr.unit_accesses
-        activity[_BPRED] += 1
-        tally[_BPRED] += 1
-        opcode = instr.opcode
-        stop_after = False
-
-        if instr.is_cond_branch:
-            stats.cond_branches_fetched += 1
-            prediction = thread.bpred.predict(instr.pc)
-            instr.predicted_taken = prediction.taken
-            instr.bpred_snapshot = prediction.snapshot
-            instr.mispredicted = prediction.taken != actual_taken
-            instr.ras_checkpoint = thread.ras.checkpoint()
-            if thread.confidence is not None:
-                thread.confidence.set_actual(actual_taken)
-                level = thread.confidence.estimate(
-                    instr.pc, prediction, thread.bpred,
-                    update_state=not instr.on_wrong_path,
-                )
-                instr.confidence = level
-                if level.is_low:
-                    instr.lowconf = True
-                    thread.lowconf_inflight += 1
-                thread.controller.on_branch_fetched(instr, level)
-            if prediction.taken and thread.btb.lookup(instr.pc) is None:
-                # Taken prediction without a cached target: one-cycle bubble.
-                stop_after = True
-            self._advance_after_cond(thread, instr, on_true, next_cursor)
-            if instr.mispredicted:
-                thread.unresolved_mispredicts += 1
-                if thread.controller.blocks_wrong_path_fetch:
-                    stop_after = True
-        else:
-            # Unconditional control: never mispredicts in this model.
-            instr.predicted_taken = True
-            instr.ras_checkpoint = thread.ras.checkpoint()
-            if opcode is Opcode.CALL:
-                thread.ras.push(instr.pc + 4)
-            elif opcode is Opcode.RET:
-                thread.ras.pop()
-            thread.btb.update(instr.pc, 0 if actual_target < 0
-                              else thread.program.block(actual_target).address)
-            if on_true:
-                thread.true_index += 1
-            else:
-                thread.wp_cursor = next_cursor
-        return stop_after
-
-    def _advance_after_cond(
-        self,
-        thread: ThreadContext,
-        instr: DynamicInstruction,
-        on_true: bool,
-        next_cursor,
-    ) -> None:
-        """Advance the fetch cursor along the *predicted* direction and
-        store the recovery cursor for the *actual* direction."""
-        block = thread.program.block(instr.static.block_id)
-        predicted_target = block.taken_target if instr.predicted_taken else block.fall_target
-
-        if on_true:
-            resume_index = thread.true_index + 1
-            instr.resume_mode = "true"
-            instr.resume_true_index = resume_index
-            if instr.mispredicted:
-                # Diverge onto the wrong path at the predicted target.
-                thread.wp_salt += 1
-                thread.fetch_mode = "wrong"
-                thread.wp_cursor = thread.navigator.start_cursor(
-                    predicted_target, thread.wp_salt * 8191 + instr.seq
-                )
-                thread.true_index = resume_index
-            else:
-                thread.true_index = resume_index
-        else:
-            instr.resume_mode = "wrong"
-            instr.resume_wp_cursor = next_cursor
-            if instr.mispredicted:
-                # Redirect this wrong path along its own predicted direction.
-                _, _, stack, step = next_cursor
-                thread.wp_cursor = (predicted_target, 0, stack, step)
-            else:
-                thread.wp_cursor = next_cursor
+        self.scheduler.step()

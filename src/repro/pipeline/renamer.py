@@ -42,7 +42,6 @@ class RegisterRenamer:
                 waits.append(tag)
         instruction.phys_sources = tuple(sources)
         if static.dest is not None and static.dest != REG_ZERO:
-            instruction.prev_phys_dest = self._map[static.dest]
             tag = instruction.seq
             self._map[static.dest] = tag
             instruction.phys_dest = tag

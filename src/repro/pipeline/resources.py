@@ -11,6 +11,12 @@ like real hardware.  This is the channel through which wrong-path loads
 "waste resources and may delay the execution of correct ones" (paper §3):
 a wrong-path load that misses to memory holds an MSHR for tens of cycles
 after the branch resolved, stalling true-path loads issued after recovery.
+
+The select loop claims slots through :meth:`try_claim_code` with the
+instruction's precomputed ``fu_code`` (see :mod:`repro.isa.opcodes`): an
+int-indexed list instead of an enum-keyed dict, because this is one of the
+hottest calls in the simulator.  :meth:`try_claim` remains as the
+enum-friendly wrapper.
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List
 
-from repro.isa.opcodes import OpClass
+from repro.isa.opcodes import (
+    FU_MEM_READ,
+    FU_MEM_WRITE,
+    NUM_FU_CODES,
+    OpClass,
+    fu_code_of,
+)
 from repro.pipeline.config import ProcessorConfig
 
 
@@ -37,39 +49,50 @@ class FunctionalUnitPool:
             OpClass.BRANCH: config.int_alu,
             OpClass.NOP: config.issue_width,
         }
-        self._available: Dict[OpClass, int] = dict(self._capacity)
+        # Issue slots indexed by fu code (branches fold into INT_ALU's
+        # entry via fu_code_of; the two memory codes share _mem_available).
+        self._code_capacity: List[int] = [0] * NUM_FU_CODES
+        for op_class, slots in self._capacity.items():
+            self._code_capacity[fu_code_of(op_class)] = slots
+        self._code_available: List[int] = list(self._code_capacity)
         # Loads and stores share the memory ports.
+        self._mem_capacity = config.mem_ports
         self._mem_available = config.mem_ports
         self._mshr_count = config.mshr_count
         self._mshr_release: List[int] = []  # fill-completion cycles (heap)
 
     def new_cycle(self, cycle: int = 0) -> None:
         """Refresh all slots at the start of a cycle; retire finished fills."""
-        self._available = dict(self._capacity)
-        self._mem_available = self._capacity[OpClass.MEM_READ]
+        self._code_available = list(self._code_capacity)
+        self._mem_available = self._mem_capacity
         release = self._mshr_release
-        while release and release[0] <= cycle:
-            heapq.heappop(release)
+        if release:
+            while release and release[0] <= cycle:
+                heapq.heappop(release)
 
-    def try_claim(self, op_class: OpClass) -> bool:
-        """Claim one slot of ``op_class``; False if none remain."""
-        if op_class in (OpClass.MEM_READ, OpClass.MEM_WRITE):
+    def try_claim_code(self, code: int) -> bool:
+        """Claim one slot of precomputed fu code ``code``; False if none."""
+        if code == FU_MEM_READ:
             if self._mem_available <= 0:
                 return False
-            if op_class is OpClass.MEM_READ and not self.mshr_free:
+            if len(self._mshr_release) >= self._mshr_count:
                 return False  # a new load could miss; no MSHR to receive it
             self._mem_available -= 1
             return True
-        if op_class is OpClass.BRANCH or op_class is OpClass.INT_ALU:
-            # Branches and ALU ops share the integer ALUs.
-            if self._available[OpClass.INT_ALU] <= 0:
+        if code == FU_MEM_WRITE:
+            if self._mem_available <= 0:
                 return False
-            self._available[OpClass.INT_ALU] -= 1
+            self._mem_available -= 1
             return True
-        if self._available[op_class] <= 0:
+        available = self._code_available
+        if available[code] <= 0:
             return False
-        self._available[op_class] -= 1
+        available[code] -= 1
         return True
+
+    def try_claim(self, op_class: OpClass) -> bool:
+        """Claim one slot of ``op_class``; False if none remain."""
+        return self.try_claim_code(fu_code_of(op_class))
 
     @property
     def mshr_free(self) -> bool:

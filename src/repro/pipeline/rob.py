@@ -16,45 +16,47 @@ class ReorderBuffer:
         if size <= 0:
             raise SimulationError("ROB size must be positive")
         self.size = size
-        self._entries: Deque[DynamicInstruction] = deque()
+        # The in-order window itself.  Public: the commit and dispatch
+        # stages peek/pop/append it directly (the per-cycle hot path), with
+        # the capacity check done at the call site.
+        self.entries: Deque[DynamicInstruction] = deque()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     @property
     def full(self) -> bool:
         """True when dispatch must stall."""
-        return len(self._entries) >= self.size
+        return len(self.entries) >= self.size
 
     @property
     def occupancy(self) -> float:
         """Fill fraction (drives clock-tree power)."""
-        return len(self._entries) / self.size
+        return len(self.entries) / self.size
 
     def head(self) -> Optional[DynamicInstruction]:
         """Oldest instruction, or None when empty."""
-        return self._entries[0] if self._entries else None
+        return self.entries[0] if self.entries else None
 
     def push(self, instruction: DynamicInstruction) -> None:
         """Append at the tail (program order)."""
-        if self.full:
+        if len(self.entries) >= self.size:
             raise SimulationError("push into a full ROB")
-        instruction.rob_index = instruction.seq
-        self._entries.append(instruction)
+        self.entries.append(instruction)
 
     def pop_head(self) -> DynamicInstruction:
         """Commit the oldest instruction."""
-        if not self._entries:
+        if not self.entries:
             raise SimulationError("pop from an empty ROB")
-        return self._entries.popleft()
+        return self.entries.popleft()
 
     def squash_younger(self, seq: int) -> List[DynamicInstruction]:
         """Remove and return every instruction younger than ``seq``."""
         squashed: List[DynamicInstruction] = []
-        entries = self._entries
+        entries = self.entries
         while entries and entries[-1].seq > seq:
             squashed.append(entries.pop())
         return squashed
 
     def __iter__(self):
-        return iter(self._entries)
+        return iter(self.entries)

@@ -1,0 +1,35 @@
+"""The stage interface of the pipeline kernel.
+
+A stage is a component with one entry point, ``tick(cycle, activity)``,
+called exactly once per cycle by the
+:class:`~repro.pipeline.stages.scheduler.CycleScheduler` in reverse
+pipeline order.  A stage owns no simulation state of its own: it reads and
+writes the kernel's shared structures (caches, functional units, power
+model, statistics) and the per-thread latches/queues handed to it by its
+:class:`~repro.pipeline.processor.ThreadContext` arguments — which is what
+makes the single-thread :class:`~repro.pipeline.processor.Processor` and
+the SMT core two instantiations of the same stage code.
+
+Width-bearing stages snapshot their width from the kernel's configuration
+at construction; per-stage width experiments only need to hand a stage a
+different value.
+"""
+
+from __future__ import annotations
+
+
+class Stage:
+    """Base class wiring a stage to its kernel."""
+
+    name = "stage"
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+
+    def tick(self, cycle: int, activity) -> None:
+        """Advance this stage by one cycle.
+
+        ``activity`` is the per-unit access-count array the power model
+        integrates at the end of the cycle.
+        """
+        raise NotImplementedError

@@ -1,0 +1,227 @@
+"""Decode and rename/dispatch: the in-order middle of the machine.
+
+One stage component covers the two in-order phases between the fetch latch
+and the out-of-order back-end.  Per cycle (reverse pipeline order, so
+rename drains the decode latch before decode refills it):
+
+* **rename/dispatch** — pull decoded instructions whose latch delay has
+  elapsed, rename their registers, take a map checkpoint at conditional
+  branches, and allocate ROB/IQ/LSQ entries, stalling on any structural
+  hazard (per-thread partition or the shared-capacity caps of an SMT core
+  in ``shared`` mode — tracked by the kernel's incremental occupancy
+  counters, not a per-cycle rescan);
+* **decode** — pull fetched instructions through the decode gate, where a
+  speculation controller may hold instructions younger than a throttling
+  branch (the paper's decode throttling), and hand them to the decode
+  latch with the configured decode→rename delay.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import REG_ZERO as _REG_ZERO
+from repro.pipeline.stages.base import Stage
+from repro.power.units import PowerUnit
+
+_REGFILE = int(PowerUnit.REGFILE)
+_RENAME = int(PowerUnit.RENAME)
+_WINDOW = int(PowerUnit.WINDOW)
+_LSQ = int(PowerUnit.LSQ)
+
+
+class DecodeRenameStage(Stage):
+    """Decode gate plus rename/dispatch into the back-end."""
+
+    name = "decode-rename"
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self.width = kernel.config.decode_width
+        self.decode_to_rename_latency = kernel.config.decode_to_rename_latency
+
+    def tick(self, cycle: int, activity) -> None:
+        threads = self.kernel.threads
+        count = len(threads)
+        if count == 1:
+            thread = threads[0]
+            self._rename_thread(thread, cycle, activity, self.width)
+            moved, throttled = self._decode_thread(thread, cycle, self.width)
+            if throttled:
+                self.kernel.stats.decode_throttled_cycles += 1
+            return
+        budget = self.width
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            budget -= self._rename_thread(thread, cycle, activity, budget)
+        budget = self.width
+        throttled = False
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            moved, thread_throttled = self._decode_thread(thread, cycle, budget)
+            budget -= moved
+            throttled = throttled or thread_throttled
+        if throttled:
+            self.kernel.stats.decode_throttled_cycles += 1
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch
+    # ------------------------------------------------------------------
+
+    def _rename_thread(self, thread, cycle: int, activity, budget: int) -> int:
+        kernel = self.kernel
+        pipe = thread.decode_latch.entries
+        if not pipe:
+            return 0
+        rob = thread.rob
+        rob_entries = rob.entries
+        rob_size = rob.size
+        iq = thread.iq
+        iq_start = iq.count
+        iq_size = iq.size
+        iq_ready = iq.ready_list
+        iq_waiters = iq.waiters
+        lsq = thread.lsq
+        lsq_start = lsq.occupied
+        lsq_size = lsq.size
+        renamer = thread.renamer
+        # Stable for the whole tick: ``restore`` (which rebinds the map)
+        # only runs during writeback recovery, never mid-rename.
+        rmap = renamer._map
+        pending_tags = renamer.pending_tags
+        shared_caps = kernel.shared_caps
+        has_shared_caps = shared_caps is not None
+        popleft = pipe.popleft
+        append_rob = rob_entries.append
+        append_ready = iq_ready.append
+        renamed = 0
+        mem_renamed = 0
+        regfile_reads = 0
+        while renamed < budget and pipe:
+            instr = pipe[0]
+            if instr.latch_ready > cycle:
+                break
+            if instr.squashed:
+                popleft()
+                continue
+            static = instr.static
+            is_mem = static.is_mem
+            if (
+                len(rob_entries) >= rob_size
+                or iq_start + renamed >= iq_size
+                or (is_mem and lsq_start + mem_renamed >= lsq_size)
+            ):
+                break
+            if has_shared_caps:
+                # The kernel counters are batch-updated after the loop, so
+                # add this loop's own allocations to see the live totals.
+                if (
+                    kernel.rob_count + renamed >= shared_caps[0]
+                    or kernel.iq_count + renamed >= shared_caps[1]
+                    or (is_mem and kernel.lsq_count + mem_renamed >= shared_caps[2])
+                ):
+                    break
+            popleft()
+            instr.rename_cycle = cycle
+
+            # Rename (RegisterRenamer.rename, inlined): map sources to
+            # producing tags, collect the still-pending ones as the wakeup
+            # set, and claim the destination.  ``phys_sources`` is not
+            # materialised here — nothing in the pipeline reads it (the
+            # standalone RegisterRenamer.rename keeps setting it).
+            static_sources = static.sources
+            waits = None
+            if static_sources:
+                for reg in static_sources:
+                    tag = rmap[reg]
+                    if tag in pending_tags:
+                        if waits is None:
+                            waits = [tag]
+                        else:
+                            waits.append(tag)
+            dest = static.dest
+            if dest is not None and dest != _REG_ZERO:
+                tag = instr.seq
+                rmap[dest] = tag
+                instr.phys_dest = tag
+                pending_tags.add(tag)
+
+            tally = instr.unit_accesses
+            tally[_RENAME] += 1
+            source_reads = len(static_sources)
+            if source_reads:
+                regfile_reads += source_reads
+                tally[_REGFILE] += source_reads
+            tally[_WINDOW] += 1
+            if static.is_cond_branch:
+                instr.rename_checkpoint = rmap.copy()
+            append_rob(instr)
+            if is_mem:
+                lsq.occupied += 1
+                mem_renamed += 1
+                tally[_LSQ] += 1
+
+            # Dispatch (IssueQueue.dispatch, inlined): park behind pending
+            # source tags, or go straight to the ready list.
+            pending = 0
+            if waits is not None:
+                for tag in waits:
+                    pending += 1
+                    bucket = iq_waiters.get(tag)
+                    if bucket is None:
+                        iq_waiters[tag] = [instr]
+                    else:
+                        bucket.append(instr)
+            instr.ready_sources = pending
+            if pending == 0:
+                append_ready(instr)
+            renamed += 1
+        if renamed:
+            activity[_RENAME] += renamed
+            activity[_WINDOW] += renamed
+            if regfile_reads:
+                activity[_REGFILE] += regfile_reads
+            if mem_renamed:
+                activity[_LSQ] += mem_renamed
+            iq.count = iq_start + renamed
+            kernel.stats.renamed += renamed
+            kernel.rob_count += renamed
+            kernel.iq_count += renamed
+            kernel.lsq_count += mem_renamed
+        return renamed
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+
+    def _decode_thread(self, thread, cycle: int, budget: int):
+        pipe = thread.fetch_latch.entries
+        if not pipe:
+            return 0, False
+        out_append = thread.decode_latch.entries.append
+        popleft = pipe.popleft
+        ready_cycle = cycle + self.decode_to_rename_latency
+        gated = thread.ctrl_blocks_decode
+        controller = thread.controller
+        moved = 0
+        throttled = False
+        while moved < budget and pipe:
+            instr = pipe[0]
+            if instr.latch_ready > cycle:
+                break
+            if instr.squashed:
+                popleft()
+                continue
+            if gated and controller.blocks_decode(cycle, instr):
+                throttled = True
+                break
+            popleft()
+            instr.decode_cycle = cycle
+            instr.latch_ready = ready_cycle
+            out_append(instr)
+            moved += 1
+        if moved:
+            self.kernel.stats.decoded += moved
+        return moved, throttled

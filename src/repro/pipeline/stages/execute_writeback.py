@@ -1,0 +1,115 @@
+"""Execute/writeback: result broadcast and branch resolution.
+
+Issued instructions sit in the kernel's
+:class:`~repro.pipeline.stages.latch.CompletionLatch` until their
+completion cycle arrives; this stage drains the cycle's bin in fetch
+(sequence) order, marks results complete, broadcasts destination tags into
+the owning thread's issue-queue wakeup network, and resolves conditional
+branches — notifying the thread's speculation controller and invoking the
+commit stage's recovery path for mispredictions.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+
+from repro.pipeline.stages.base import Stage
+from repro.power.units import PowerUnit
+
+_WINDOW = int(PowerUnit.WINDOW)
+_RESULTBUS = int(PowerUnit.RESULTBUS)
+
+_BY_SEQ = attrgetter("seq")
+
+
+class ExecuteWritebackStage(Stage):
+    """Drain the completion latch; wake dependents; resolve branches."""
+
+    name = "writeback"
+
+    def __init__(self, kernel, recovery) -> None:
+        super().__init__(kernel)
+        # The commit stage owns squash/repair; branch resolution calls
+        # into it through this explicit reference.
+        self.recovery = recovery
+        self.buckets = kernel.completions.buckets
+
+    def tick(self, cycle: int, activity) -> None:
+        events = self.buckets.pop(cycle, None)
+        if not events:
+            return
+        if len(events) > 1:
+            events.sort(key=_BY_SEQ)
+        threads = self.kernel.threads
+        recover = self.recovery.recover
+        if len(threads) == 1:
+            # Single-thread fast path: one set of per-thread structures for
+            # the whole event bin, and IssueQueue.wakeup inlined.
+            thread = threads[0]
+            pending_tags = thread.renamer.pending_tags
+            iq = thread.iq
+            waiters = iq.waiters
+            broadcasts = 0
+            wakeups = 0
+            for instr in events:
+                if instr.squashed:
+                    continue
+                instr.completed = True
+                instr.complete_cycle = cycle
+                tag = instr.phys_dest
+                if tag >= 0:
+                    pending_tags.discard(tag)  # mark_completed
+                    broadcasts += 1
+                    instr.unit_accesses[_RESULTBUS] += 1
+                    waiting = waiters.pop(tag, None)
+                    if waiting is not None:
+                        woken = 0
+                        ready = iq.ready_list
+                        for waiter in waiting:
+                            if waiter.squashed or waiter.issued:
+                                continue
+                            waiter.ready_sources -= 1
+                            if waiter.ready_sources == 0:
+                                ready.append(waiter)
+                            woken += 1
+                        iq.wakeup_broadcasts += 1
+                        if woken:
+                            wakeups += 1
+                            instr.unit_accesses[_WINDOW] += 1
+                if instr.static.is_cond_branch:
+                    if instr.lowconf:
+                        instr.lowconf = False
+                        thread.lowconf_inflight -= 1
+                    if thread.ctrl_has_resolve_hook:
+                        thread.controller.on_branch_resolved(instr)
+                    if instr.mispredicted:
+                        recover(thread, instr, cycle)
+            if broadcasts:
+                activity[_RESULTBUS] += broadcasts
+                if wakeups:
+                    activity[_WINDOW] += wakeups
+            return
+        for instr in events:
+            if instr.squashed:
+                continue
+            thread = threads[instr.thread_id]
+            instr.completed = True
+            instr.complete_cycle = cycle
+            tag = instr.phys_dest
+            if tag >= 0:
+                # RegisterRenamer.mark_completed, inlined.
+                thread.renamer.pending_tags.discard(tag)
+                activity[_RESULTBUS] += 1
+                instr.unit_accesses[_RESULTBUS] += 1
+                woken = thread.iq.wakeup(tag)
+                if woken:
+                    activity[_WINDOW] += 1
+                    instr.unit_accesses[_WINDOW] += 1
+            if instr.static.is_cond_branch:
+                if instr.lowconf:
+                    instr.lowconf = False
+                    thread.lowconf_inflight -= 1
+                if thread.ctrl_has_resolve_hook:
+                    thread.controller.on_branch_resolved(instr)
+                if instr.mispredicted:
+                    recover(thread, instr, cycle)

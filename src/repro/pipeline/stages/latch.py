@@ -1,0 +1,68 @@
+"""Latches: the state handed from one pipeline stage to the next.
+
+Two latch kinds connect the stages of the kernel:
+
+* :class:`PipeLatch` — an in-order pipe of instructions modelling the
+  front-end's staging flip-flops.  The producing stage stamps each
+  instruction's ``latch_ready`` cycle before inserting it; the consuming
+  stage may take it once ``latch_ready <= now`` — that is how the
+  configurable fetch→decode and decode→rename depths of the paper's
+  Figure 6 sweep are realised.
+* :class:`CompletionLatch` — the execute→writeback timing wheel: issued
+  instructions are binned by absolute completion cycle, and writeback
+  drains exactly one bin per cycle.
+
+Both expose their backing container (``entries`` / ``buckets``) publicly
+and the stages peek, pop and append it directly — every mutation lives in
+the producing or consuming stage's hot loop, and the latch object itself
+is the hand-off contract between exactly those two stages.
+
+The contracts the mutating stages uphold:
+
+* ``PipeLatch.entries`` — append an instruction only after stamping its
+  ``latch_ready``; pop only from the head, and only once
+  ``latch_ready <= now``; ``clear`` only during squash recovery.
+* ``CompletionLatch.buckets`` — append an instruction to the bin of its
+  absolute completion cycle; pop exactly the current cycle's bin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.isa.instruction import DynamicInstruction
+
+
+class PipeLatch:
+    """An in-order pipe of instructions with per-entry ready cycles."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: Deque[DynamicInstruction] = deque()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def clear(self) -> None:
+        """Drop every entry (squash recovery)."""
+        self.entries.clear()
+
+
+class CompletionLatch:
+    """Issued instructions binned by the cycle their results write back."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, List[DynamicInstruction]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets.values())

@@ -1,0 +1,64 @@
+"""The cycle scheduler: drives the stage components through one cycle.
+
+Stages run in reverse pipeline order — commit, writeback, select/issue,
+rename+decode, fetch — so that results written back this cycle are
+visible to commit next cycle, issue slots freed by writeback are not
+reused in the same cycle, and latch entries move at most one stage per
+cycle.  After the last stage the scheduler closes the cycle: the per-unit
+activity array is integrated by the power model (clock-tree power driven
+by ROB occupancy from the kernel's incremental counter — no per-cycle
+rescan of the threads), and the cycle counter advances.
+
+The scheduler holds the stage components as plain attributes, so tests
+and future scenarios can wrap or replace a single stage without touching
+the kernel.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.stages.commit import CommitRecoverStage
+from repro.pipeline.stages.decode_rename import DecodeRenameStage
+from repro.pipeline.stages.execute_writeback import ExecuteWritebackStage
+from repro.pipeline.stages.fetch import FetchStage
+from repro.pipeline.stages.select_issue import SelectIssueStage
+from repro.power.units import NUM_UNITS
+
+
+class CycleScheduler:
+    """Owns the five stage components and advances them one cycle at a time."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        # Constant once the kernel's threads are final (the kernel builds
+        # its scheduler last).
+        self.total_rob_size = kernel.total_rob_size
+        self.commit = CommitRecoverStage(kernel)
+        self.writeback = ExecuteWritebackStage(kernel, recovery=self.commit)
+        self.issue = SelectIssueStage(kernel)
+        self.decode_rename = DecodeRenameStage(kernel)
+        self.fetch = FetchStage(kernel)
+        # Reverse pipeline order, the order ``step`` runs them in.
+        self.stages = (
+            self.commit,
+            self.writeback,
+            self.issue,
+            self.decode_rename,
+            self.fetch,
+        )
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        kernel = self.kernel
+        cycle = kernel.cycle
+        activity = [0] * NUM_UNITS
+        self.commit.tick(cycle, activity)
+        self.writeback.tick(cycle, activity)
+        self.issue.tick(cycle, activity)
+        self.decode_rename.tick(cycle, activity)
+        self.fetch.tick(cycle, activity)
+        power = kernel.power
+        in_flight = kernel.rob_count
+        power.end_cycle(activity, in_flight / self.total_rob_size)
+        power.total_instr_cycles += in_flight
+        kernel.stats.cycles += 1
+        kernel.cycle = cycle + 1

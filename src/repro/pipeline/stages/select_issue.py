@@ -1,0 +1,158 @@
+"""Select/issue: pick ready instructions and start them executing.
+
+Refreshes the functional-unit pool, then walks the threads in the cycle's
+rotation order letting each thread's issue queue select ready
+instructions oldest-first (honouring slot capacities, MSHR availability
+and the controller's no-select bit), performs load D-cache accesses and
+schedules each issued instruction's writeback into the completion latch.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+
+from repro.isa.opcodes import FU_MEM_READ as _FU_MEM_READ
+from repro.isa.opcodes import FU_MEM_WRITE as _FU_MEM_WRITE
+from repro.pipeline.stages.base import Stage
+from repro.power.units import PowerUnit
+
+_BY_SEQ = attrgetter("seq")
+
+_WINDOW = int(PowerUnit.WINDOW)
+_LSQ = int(PowerUnit.LSQ)
+_ALU = int(PowerUnit.ALU)
+_DCACHE = int(PowerUnit.DCACHE)
+_DCACHE2 = int(PowerUnit.DCACHE2)
+
+
+class SelectIssueStage(Stage):
+    """Out-of-order selection and execution start."""
+
+    name = "issue"
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self.width = kernel.config.issue_width
+        self.extra_exec_latency = kernel.config.extra_exec_latency
+        # Stable shared structures (never rebound on the kernel).
+        self.memory = kernel.memory
+        self.buckets = kernel.completions.buckets
+
+    def tick(self, cycle: int, activity) -> None:
+        kernel = self.kernel
+        fu_pool = kernel.fu_pool
+        fu_pool.new_cycle(cycle)
+        threads = kernel.threads
+        count = len(threads)
+        budget = self.width
+        for offset in range(count):
+            if budget <= 0:
+                break
+            thread = threads[(cycle + offset) % count]
+            iq = thread.iq
+            ready = iq.ready_list
+            if not ready:
+                continue
+            # IssueQueue.select fused with the issue bookkeeping: walk the
+            # ready instructions oldest first, claim slots, and start
+            # execution in one pass (identical pick order and side
+            # effects; survivors stay ready for the next cycle).
+            if len(ready) > 1:
+                ready.sort(key=_BY_SEQ)
+            if thread.ctrl_blocks_selection:
+                controller_blocks = thread.controller.blocks_selection
+            else:
+                controller_blocks = None
+            stats = kernel.stats
+            memory = self.memory
+            buckets = self.buckets
+            extra_exec = self.extra_exec_latency
+            try_claim_code = fu_pool.try_claim_code
+            # Stable for this cycle: rebound only by new_cycle above.
+            code_available = fu_pool._code_available
+            survivors = []
+            survive = survivors.append
+            issued = 0
+            wrong_path = 0
+            lsq_accesses = 0
+            dcache_accesses = 0
+            dcache2_accesses = 0
+            # Miss fills allocated this cycle must not influence this
+            # cycle's remaining MSHR-availability checks (selection reads
+            # the *start-of-select* MSHR state); defer them to the end of
+            # the thread's pass.
+            mshr_holds = None
+            for instr in ready:
+                if instr.squashed or instr.issued:
+                    continue
+                if issued >= budget:
+                    survive(instr)
+                    continue
+                if controller_blocks is not None and controller_blocks(instr):
+                    stats.selection_blocked += 1
+                    survive(instr)
+                    continue
+                static = instr.static
+                code = static.fu_code
+                if code == _FU_MEM_READ or code == _FU_MEM_WRITE:
+                    # Shared memory ports + MSHR availability.
+                    if not try_claim_code(code):
+                        survive(instr)
+                        continue
+                elif code_available[code] > 0:
+                    code_available[code] -= 1
+                else:
+                    survive(instr)
+                    continue
+                instr.issued = True
+                issued += 1
+                instr.issue_cycle = cycle
+                tally = instr.unit_accesses
+                tally[_WINDOW] += 1
+                tally[_ALU] += 1
+                latency = static.latency + extra_exec
+                if static.is_load:
+                    mem_latency, l1_hit = memory.load_data(instr.mem_address)
+                    dcache_accesses += 1
+                    tally[_DCACHE] += 1
+                    if not l1_hit:
+                        dcache2_accesses += 1
+                        tally[_DCACHE2] += 1
+                        # The miss occupies an MSHR until the fill returns;
+                        # squashing the load does not recall the fill.
+                        if mshr_holds is None:
+                            mshr_holds = [cycle + mem_latency]
+                        else:
+                            mshr_holds.append(cycle + mem_latency)
+                    latency += mem_latency
+                    lsq_accesses += 1
+                    tally[_LSQ] += 1
+                elif static.is_store:
+                    lsq_accesses += 1
+                    tally[_LSQ] += 1
+                if instr.on_wrong_path:
+                    wrong_path += 1
+                complete = cycle + latency
+                bucket = buckets.get(complete)
+                if bucket is None:
+                    buckets[complete] = [instr]
+                else:
+                    bucket.append(instr)
+            iq.ready_list = survivors
+            if mshr_holds is not None:
+                hold_mshr = fu_pool.hold_mshr
+                for until in mshr_holds:
+                    hold_mshr(until)
+            if issued:
+                activity[_WINDOW] += issued
+                activity[_ALU] += issued
+                if lsq_accesses:
+                    activity[_LSQ] += lsq_accesses
+                    activity[_DCACHE] += dcache_accesses
+                    activity[_DCACHE2] += dcache2_accesses
+                iq.count -= issued
+                kernel.iq_count -= issued
+                stats.issued += issued
+                budget -= issued
+                if wrong_path:
+                    stats.issued_wrong_path += wrong_path

@@ -90,6 +90,16 @@ class PowerModel:
             self.table.max_watts[unit] * cycle_s * active_share / self.table.ports[unit]
             for unit in range(NUM_UNITS)
         ]
+        # CC3 fast path: a unit with zero accesses burns exactly its idle
+        # power — ``max_watts * (idle + (1-idle)*0.0) * cycle_s`` reduces
+        # bitwise to ``(max_watts * idle) * cycle_s`` (adding a true 0.0 is
+        # exact), so that per-cycle constant is precomputed with the same
+        # association and the idle case becomes a single accumulate.
+        self._cc3 = style is ClockGatingStyle.CC3
+        self._idle_energy = [
+            (self.table.max_watts[unit] * idle_fraction) * cycle_s
+            for unit in range(NUM_UNITS)
+        ]
 
     def new_activity(self) -> List[int]:
         """Return a fresh per-unit activity array for one cycle."""
@@ -115,6 +125,32 @@ class PowerModel:
         unit_energy = self.unit_energy
         dynamic_energy = self.dynamic_energy
         usage_sum = self.usage_sum
+
+        if self._cc3:
+            # The paper's configuration; this is the per-cycle hot loop of
+            # the whole simulator.  Idle units (most units, most cycles)
+            # take the single-accumulate shortcut; active units evaluate
+            # exactly the expressions of the generic loop below, so the
+            # accumulated floats are bit-identical either way.
+            idle_energy = self._idle_energy
+            unit_accesses = self.unit_accesses
+            active = 1.0 - idle
+            for unit, accesses in enumerate(activity):
+                if unit == _CLOCK:
+                    usage = occupancy
+                else:
+                    if accesses == 0:
+                        unit_energy[unit] += idle_energy[unit]
+                        continue
+                    unit_accesses[unit] += accesses
+                    usage = accesses / ports[unit]
+                    if usage > 1.0:
+                        usage = 1.0
+                usage_sum[unit] += usage
+                power = max_watts[unit] * (idle + (1.0 - idle) * usage)
+                unit_energy[unit] += power * cycle_s
+                dynamic_energy[unit] += max_watts[unit] * active * usage * cycle_s
+            return
 
         unit_accesses = self.unit_accesses
         for unit in range(NUM_UNITS):
@@ -166,8 +202,7 @@ class PowerModel:
         """
         energy_per_access = self._energy_per_access
         total = 0.0
-        for unit in range(NUM_UNITS):
-            count = tally[unit]
+        for unit, count in enumerate(tally):
             if count:
                 total += count * energy_per_access[unit]
         return total
@@ -180,8 +215,7 @@ class PowerModel:
             energy_per_access = self._energy_per_access
             wasted = self.wasted_energy
             squashed = self.squashed_accesses
-            for unit in range(NUM_UNITS):
-                count = tally[unit]
+            for unit, count in enumerate(tally):
                 if count:
                     energy = count * energy_per_access[unit]
                     wasted[unit] += energy
@@ -191,8 +225,9 @@ class PowerModel:
             entry = self._ledger_of(instruction)
             entry[1] += instr_energy
             entry[3] += 1
-        if instruction.fetch_cycle >= 0:
-            self.wasted_instr_cycles += max(0, now_cycle - instruction.fetch_cycle)
+        fetch_cycle = instruction.fetch_cycle
+        if fetch_cycle >= 0 and now_cycle > fetch_cycle:
+            self.wasted_instr_cycles += now_cycle - fetch_cycle
 
     def credit_committed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
         """Record a committed instruction's residency (clock attribution)
@@ -204,8 +239,9 @@ class PowerModel:
             if tally is not None:
                 entry[0] += self._tally_energy(tally)
             entry[2] += 1
-        if instruction.fetch_cycle >= 0:
-            self.committed_instr_cycles += max(0, now_cycle - instruction.fetch_cycle)
+        fetch_cycle = instruction.fetch_cycle
+        if fetch_cycle >= 0 and now_cycle > fetch_cycle:
+            self.committed_instr_cycles += now_cycle - fetch_cycle
 
     # ------------------------------------------------------------------
     # Results

@@ -16,7 +16,7 @@ branches that were themselves speculative).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.errors import ProgramError, SimulationError
 from repro.program.cfg import Program, TerminatorKind
@@ -25,17 +25,22 @@ from repro.utils.rng import XorShiftRNG, derive_seed, stateless_hash
 HISTORY_BITS = 32
 _HISTORY_MASK = (1 << HISTORY_BITS) - 1
 
+# Records generated beyond the requested true-path index per oracle miss.
+_LOOKAHEAD = 16
 
-class DynamicRecord:
-    """One instruction instance on the true path."""
 
-    __slots__ = ("static", "taken", "target_block", "mem_address")
+class DynamicRecord(NamedTuple):
+    """One instruction instance on the true path.
 
-    def __init__(self, static, taken: bool, target_block: int, mem_address: int) -> None:
-        self.static = static
-        self.taken = taken
-        self.target_block = target_block
-        self.mem_address = mem_address
+    A named tuple: the fetch stage unpacks all four fields at once per
+    fetched instruction, while cold consumers (trace capture, predictor
+    calibration) keep attribute access.
+    """
+
+    static: object
+    taken: bool
+    target_block: int
+    mem_address: int
 
     def __repr__(self) -> str:
         return (
@@ -73,13 +78,80 @@ class TruePathOracle:
 
     def get(self, stream_index: int) -> DynamicRecord:
         """Return the record at an absolute stream index, generating as needed."""
-        if stream_index < self._base:
+        offset = stream_index - self._base
+        records = self._records
+        if 0 <= offset < len(records):  # fast path: already materialised
+            return records[offset]
+        if offset < 0:
             raise SimulationError(
                 f"true-path record {stream_index} was pruned (base={self._base})"
             )
-        while stream_index - self._base >= len(self._records):
-            self._generate_one()
-        return self._records[stream_index - self._base]
+        # Materialise a look-ahead chunk: generation is deterministic and
+        # all walk state is oracle-internal, so producing records early is
+        # unobservable — and it lets the fetch stage index the ring
+        # directly instead of calling back here once per instruction.
+        self._generate(offset - len(records) + _LOOKAHEAD)
+        return records[offset]
+
+    def _generate(self, count: int) -> None:
+        """Emit ``count`` more records (the :meth:`_generate_one` walk with
+        the per-record state held in locals)."""
+        records = self._records
+        append = records.append
+        visit_counts = self._visit_counts
+        program = self.program
+        block = self._block
+        index = self._index
+        for _ in range(count):
+            hops = 0
+            instructions = block.instructions
+            while not instructions:
+                if block.kind is not TerminatorKind.FALL:
+                    raise ProgramError(f"empty non-FALL block {block.block_id}")
+                block = program.block(block.fall_target)
+                instructions = block.instructions
+                hops += 1
+                if hops > len(program.blocks):
+                    raise ProgramError("cycle of empty fall-through blocks")
+
+            static = instructions[index]
+            is_terminator = index == len(instructions) - 1
+
+            taken = False
+            target_block = -1
+            mem_address = 0
+
+            if static.is_mem:
+                address = static.address
+                visit = visit_counts.get(address, 0)
+                visit_counts[address] = visit + 1
+                # data_address, inlined: walk the working set with the
+                # instruction's stride (word-aligned).
+                stride = static.mem_stride
+                if stride == 0:
+                    offset = (address * 16) & (static.mem_footprint - 1)
+                else:
+                    offset = (stride * visit) & (static.mem_footprint - 1)
+                mem_address = (
+                    0x1000_0000 + static.mem_region * 0x10_0000 + (offset & ~0x3)
+                )
+
+            if is_terminator:
+                if block.kind is not TerminatorKind.FALL:
+                    # _resolve_terminator reads/updates self state (global
+                    # history, call stack); sync is not needed because the
+                    # localized walk state is block/index only.
+                    taken, target_block = self._resolve_terminator(block)
+                    block = program.block(target_block)
+                else:
+                    block = program.block(block.fall_target)
+                index = 0
+            else:
+                index += 1
+
+            append(DynamicRecord(static, taken, target_block, mem_address))
+        self._block = block
+        self._index = index
 
     def prune_before(self, stream_index: int) -> None:
         """Drop records older than ``stream_index`` (already committed)."""
@@ -103,41 +175,6 @@ class TruePathOracle:
             offset = (static.mem_stride * visit) & footprint_mask
         return region_base + (offset & ~0x3)
 
-    def _generate_one(self) -> None:
-        """Advance the walker until one record is emitted."""
-        # Skip over empty fall-through blocks defensively (the generator
-        # never emits them, but the walk must not spin if one appears).
-        hops = 0
-        while not self._block.instructions:
-            if self._block.kind is not TerminatorKind.FALL:
-                raise ProgramError(f"empty non-FALL block {self._block.block_id}")
-            self._block = self.program.block(self._block.fall_target)
-            hops += 1
-            if hops > len(self.program.blocks):
-                raise ProgramError("cycle of empty fall-through blocks")
-
-        block = self._block
-        static = block.instructions[self._index]
-        is_terminator = self._index == len(block.instructions) - 1
-
-        taken = False
-        target_block = -1
-        mem_address = 0
-
-        if static.op_class.value in ("mem_read", "mem_write"):
-            visit = self._visit_counts.get(static.address, 0)
-            self._visit_counts[static.address] = visit + 1
-            mem_address = self.data_address(static, visit)
-
-        if is_terminator and block.kind is not TerminatorKind.FALL:
-            taken, target_block = self._resolve_terminator(block)
-        if is_terminator:
-            self._advance_block(block, taken, target_block)
-        else:
-            self._index += 1
-
-        self._records.append(DynamicRecord(static, taken, target_block, mem_address))
-
     def _resolve_terminator(self, block) -> Tuple[bool, int]:
         """Decide the outcome and target of a block terminator."""
         if block.kind is TerminatorKind.COND:
@@ -156,15 +193,6 @@ class TruePathOracle:
             return True, self._stack.pop()
         raise ProgramError(f"unexpected terminator kind {block.kind}")
 
-    def _advance_block(self, block, taken: bool, target_block: int) -> None:
-        """Move the walker to the next block after a terminator."""
-        if block.kind is TerminatorKind.FALL:
-            next_block = block.fall_target
-        else:
-            next_block = target_block
-        self._block = self.program.block(next_block)
-        self._index = 0
-
 
 # A wrong-path cursor is (block_id, instr_index, call_stack_tuple, step_count).
 WrongPathCursor = Tuple[int, int, Tuple[int, ...], int]
@@ -182,6 +210,7 @@ class WrongPathNavigator:
 
     def __init__(self, program: Program, seed: int) -> None:
         self.program = program
+        self._blocks = program.blocks
         self._seed = derive_seed(seed, "wrongpath")
 
     def start_cursor(self, block_id: int, salt: int) -> WrongPathCursor:
@@ -196,21 +225,24 @@ class WrongPathNavigator:
         the path is squashed).
         """
         block_id, index, stack, step = cursor
-        block = self.program.block(block_id)
+        blocks = self._blocks
+        block = blocks[block_id]
+        instructions = block.instructions
         hops = 0
-        while not block.instructions:
-            block = self.program.block(block.fall_target)
+        while not instructions:
+            block = blocks[block.fall_target]
+            instructions = block.instructions
             block_id, index = block.block_id, 0
             hops += 1
-            if hops > len(self.program.blocks):
+            if hops > len(blocks):
                 raise ProgramError("cycle of empty fall-through blocks")
-        static = block.instructions[index]
-        is_terminator = index == len(block.instructions) - 1
+        static = instructions[index]
+        is_terminator = index == len(instructions) - 1
 
         taken = False
         target_block = -1
         mem_address = 0
-        if static.op_class.value in ("mem_read", "mem_write"):
+        if static.is_mem:
             mem_address = self._wrong_data_address(static, step)
 
         if not is_terminator:

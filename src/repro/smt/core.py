@@ -95,7 +95,7 @@ class SmtProcessor(Processor):
                 config.rob_size, config.iq_size, config.lsq_size,
             )
             if count > 1:
-                self._shared_caps = (
+                self.shared_caps = (
                     config.rob_size, config.iq_size, config.lsq_size,
                 )
         fetch_buffer = max(config.fetch_width, config.effective_fetch_buffer // count)
@@ -147,11 +147,12 @@ class SmtProcessor(Processor):
         threads = self.threads
         base = [thread.committed for thread in threads]
         limit = self.cycle + instructions * 400 * len(threads) + 100_000
+        step = self.scheduler.step
         while any(
             thread.committed - start < instructions
             for thread, start in zip(threads, base)
         ):
-            self.step()
+            step()
             if self.cycle > limit:
                 done = [thread.committed - start for thread, start in zip(threads, base)]
                 raise SimulationError(

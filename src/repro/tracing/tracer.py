@@ -45,8 +45,9 @@ class InstructionTrace:
         self.opcode = instruction.opcode
         self.on_wrong_path = instruction.on_wrong_path
         self.squashed = instruction.squashed
-        self.mispredicted = instruction.mispredicted
-        self.confidence = instruction.confidence
+        # Control-flow slots exist only on branch instructions.
+        self.mispredicted = getattr(instruction, "mispredicted", False)
+        self.confidence = getattr(instruction, "confidence", None)
         self.fetch_cycle = instruction.fetch_cycle
         self.decode_cycle = instruction.decode_cycle
         self.rename_cycle = instruction.rename_cycle

@@ -134,9 +134,15 @@ def stateless_hash(seed: int, *values: int) -> int:
     """A pure function of its arguments, usable as a stateless random source.
 
     Wrong-path branch outcomes use this so speculative fetch never perturbs
-    true-path behavioural state.
+    true-path behavioural state.  The splitmix64 step is unrolled inline
+    (identical arithmetic to :func:`_splitmix64`): wrong-path fetch calls
+    this once per speculative branch, making it one of the hottest leaf
+    functions in the simulator.
     """
     state = seed & _MASK64
     for value in values:
-        state = _splitmix64(state ^ (value & _MASK64))
+        state = (state ^ (value & _MASK64)) + _SPLITMIX_GAMMA & _MASK64
+        state = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & _MASK64
+        state = state ^ (state >> 31)
     return state

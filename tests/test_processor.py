@@ -71,15 +71,16 @@ def test_commit_order_is_program_order(fresh_program):
     """Committed true-path indices must be strictly increasing."""
     processor = Processor(table3_config(), fresh_program, seed=42)
     seen = []
-    original_commit = processor._commit
+    commit_stage = processor.scheduler.commit
+    original_tick = commit_stage.tick
 
-    def spying_commit(cycle, activity):
+    def spying_tick(cycle, activity):
         head = processor.rob.head()
         if head is not None and head.completed and head.true_index >= 0:
             seen.append(head.true_index)
-        original_commit(cycle, activity)
+        original_tick(cycle, activity)
 
-    processor._commit = spying_commit
+    commit_stage.tick = spying_tick
     processor.run(2000)
     assert seen == sorted(seen)
 

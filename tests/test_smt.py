@@ -165,11 +165,11 @@ def test_shared_mode_occupancy_uses_the_shared_cap():
     shared = SmtProcessor(
         config, mix.build_programs(), mix.thread_seeds(), sharing="shared"
     )
-    assert shared._total_rob_size == config.rob_size
+    assert shared.total_rob_size == config.rob_size
     partitioned = SmtProcessor(
         config, mix.build_programs(), mix.thread_seeds(), sharing="partitioned"
     )
-    assert partitioned._total_rob_size == config.rob_size
+    assert partitioned.total_rob_size == config.rob_size
 
 
 def test_smt_constructor_validation():

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Profile one simulation and print the hottest functions.
+
+Future performance PRs should start from data, not intuition::
+
+    PYTHONPATH=src python tools/profile_run.py                 # defaults
+    PYTHONPATH=src python tools/profile_run.py --benchmark gcc \
+        --experiment C2 --instructions 40000 --top 30
+    PYTHONPATH=src python tools/profile_run.py --mix mix2-hard  # SMT core
+    PYTHONPATH=src python tools/profile_run.py --save run.pstats
+
+The run goes through :func:`repro.experiments.engine.simulate` (or
+``simulate_smt`` with ``--mix``), i.e. exactly the code path every figure,
+table and campaign exercises, so the printed hotspots are the ones that
+matter.  ``--save`` writes the raw pstats file for snakeviz/gprof2dot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from typing import List, Optional
+
+from repro.experiments.engine import (
+    default_instructions,
+    default_warmup,
+    make_cell,
+    make_smt_cell,
+    simulate,
+    simulate_smt,
+)
+from repro.smt.mixes import MIX_NAMES
+from repro.workloads.suite import BENCHMARK_NAMES
+
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def _make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="profile_run",
+        description="cProfile one simulation and print the top hotspots.",
+    )
+    parser.add_argument(
+        "--benchmark", default="go", choices=BENCHMARK_NAMES,
+        help="calibrated benchmark to simulate (default: go)",
+    )
+    parser.add_argument(
+        "--experiment", default="baseline",
+        help="controller: 'baseline', a policy name (C2, A5, ...) or "
+        "'gating:N' (default: baseline)",
+    )
+    parser.add_argument(
+        "--mix", default=None, choices=MIX_NAMES,
+        help="profile an SMT mix instead of a single-thread benchmark",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=None,
+        help=f"measured instructions (default: {default_instructions()})",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help=f"warm-up instructions (default: {default_warmup()})",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="number of functions to print (default: 20)",
+    )
+    parser.add_argument(
+        "--sort", default="cumulative", choices=SORT_KEYS,
+        help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--save", default=None,
+        help="also write the raw profile to this pstats file",
+    )
+    return parser
+
+
+def _controller_spec(name: str) -> tuple:
+    if name == "baseline":
+        return ("baseline",)
+    if name.startswith("gating:"):
+        return ("gating", int(name.split(":", 1)[1]))
+    return ("throttle", name)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = _make_parser().parse_args(argv)
+
+    if options.mix:
+        cell = make_smt_cell(
+            options.mix,
+            instructions=options.instructions,
+            warmup=options.warmup,
+        )
+        target, label = (lambda: simulate_smt(cell)), f"mix {cell.mix}"
+    else:
+        cell = make_cell(
+            options.benchmark,
+            controller_spec=_controller_spec(options.experiment),
+            instructions=options.instructions,
+            warmup=options.warmup,
+        )
+        target = lambda: simulate(cell)  # noqa: E731
+        label = f"{cell.benchmark} under {cell.effective_label}"
+
+    print(
+        f"profiling {label}: {cell.instructions} instructions "
+        f"(+{cell.warmup} warm-up)"
+    )
+    profile = cProfile.Profile()
+    profile.enable()
+    result = target()
+    profile.disable()
+
+    committed = getattr(result, "instructions", None)
+    if committed is None:  # SmtResult carries per-thread dicts instead
+        committed = sum(thread["committed"] for thread in result.threads)
+    stats = pstats.Stats(profile, stream=sys.stdout)
+    wall = stats.total_tt
+    print(f"committed {committed} instructions in {wall:.2f}s "
+          f"({committed / wall:,.0f} instr/s)\n")
+    stats.strip_dirs().sort_stats(options.sort).print_stats(options.top)
+    if options.save:
+        stats.dump_stats(options.save)
+        print(f"wrote {options.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
