@@ -8,7 +8,9 @@ pipeline tracer attached and prints:
 2. the wrong-path "shadow" behind each mispredicted branch — how many
    µops were fetched and how many made it all the way to issue before the
    squash (the work whose energy Table 1 calls wasted);
-3. an instruction-lifetime histogram.
+3. an instruction-lifetime histogram;
+4. a peek at the wrong-path packets the instruction supply serves the
+   front end down a mispredicted target.
 
 Usage::
 
@@ -17,6 +19,7 @@ Usage::
 
 import sys
 
+from repro.frontend import CompiledSupply
 from repro.pipeline.config import table3_config
 from repro.pipeline.processor import Processor
 from repro.tracing import PipelineTracer, render_pipetrace, stage_occupancy_histogram
@@ -30,7 +33,12 @@ def main() -> None:
         raise SystemExit(f"unknown benchmark; choose from {BENCHMARK_NAMES}")
 
     spec = benchmark_spec(name)
-    processor = Processor(table3_config(), spec.build_program(), seed=spec.seed)
+    # The processor builds a CompiledSupply by default; construct it
+    # explicitly here so the example shows the injection point (a
+    # LiveSupply or TraceSupply drops in the same way).
+    program = spec.build_program()
+    supply = CompiledSupply(program, spec.seed)
+    processor = Processor(table3_config(), program, seed=spec.seed, supply=supply)
     tracer = PipelineTracer(capacity=20_000)
     processor.observer = tracer
     processor.run(6_000, warmup_instructions=1_000)
@@ -58,6 +66,27 @@ def main() -> None:
     # 3. Lifetime histogram.
     print("=== instruction lifetimes ===")
     print(stage_occupancy_histogram(traces, bucket=8))
+    print()
+
+    # 4. What the supply hands fetch down a wrong path: whole-block
+    # packets, one Python call per block instead of one per instruction.
+    if branches:
+        anchor = branches[0]
+        block = next(
+            b for b in program.blocks
+            if b.instructions
+            and b.address <= anchor.pc < b.address + 4 * len(b.instructions)
+        )
+        cursor = supply.start_cursor(block.taken_target
+                                     if block.taken_target >= 0
+                                     else block.fall_target, salt=1)
+        print("=== first wrong-path packets past the mispredicted branch ===")
+        for _ in range(3):
+            records, cursor = supply.wrong_packet(cursor)
+            ops = " ".join(static.opcode.value for static, *_ in records)
+            print(f"  packet[{len(records):2d}] {ops}")
+            print(f"    -> next block {cursor[0]}, speculative depth "
+                  f"{len(cursor[2])}, step {cursor[3]}")
 
 
 if __name__ == "__main__":

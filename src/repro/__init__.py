@@ -74,9 +74,17 @@ from repro.experiments.engine import (
     build_engine,
     make_cell,
     make_smt_cell,
+    make_trace_cell,
     simulate,
     simulate_smt,
     smt_baseline_cells,
+)
+from repro.frontend import (
+    CompiledSupply,
+    InstructionSupply,
+    LiveSupply,
+    TraceSupply,
+    build_supply,
 )
 from repro.experiments.results import ComparisonResult, SimulationResult, compare
 from repro.experiments.runner import ExperimentRunner, make_controller, run_benchmark
@@ -132,6 +140,13 @@ __all__ = [
     "benchmark_spec",
     "benchmark_program",
     "load_suite",
+    # instruction supply
+    "InstructionSupply",
+    "CompiledSupply",
+    "LiveSupply",
+    "TraceSupply",
+    "build_supply",
+    "make_trace_cell",
     # experiments
     "ExperimentRunner",
     "run_benchmark",

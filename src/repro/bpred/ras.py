@@ -45,7 +45,10 @@ class ReturnAddressStack:
 
     def checkpoint(self) -> RASCheckpoint:
         """Capture state for branch-squash recovery."""
-        return (self._top, self.peek())
+        top = self._top
+        if top == 0:
+            return (0, 0)
+        return (top, self._stack[(top - 1) % self.depth])
 
     def restore(self, point: RASCheckpoint) -> None:
         """Undo speculative pushes/pops using a checkpoint."""

@@ -9,6 +9,8 @@ Examples::
     python -m repro figure5 --csv out.csv  # machine-readable export
     python -m repro run go C2              # one benchmark x one policy
     python -m repro ablations              # the DESIGN.md §6 studies
+    python -m repro trace record go go.trace.gz   # replayable trace
+    python -m repro trace replay go.trace.gz --verify
 
 Run lengths default to the library's simulation defaults; use
 ``--instructions``/``--warmup`` for quicker (or higher-fidelity) passes.
@@ -72,7 +74,7 @@ _FIGURES = {
 _COMMANDS = (
     "list", "table1", "table2", "table3",
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "run", "ablations", "campaign", "smt",
+    "run", "ablations", "campaign", "smt", "trace",
 )
 
 
@@ -151,7 +153,12 @@ def _make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None,
-        help="base seed of an SMT mix (smt only; default: the mix's seed)",
+        help="base seed of an SMT mix or recorded trace (smt/trace only)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="trace replay only: also run the live walk and require "
+        "bit-identical results",
     )
     return parser
 
@@ -203,6 +210,8 @@ def _cmd_list() -> None:
     print("  campaign EXP [EXP ...]      — multi-seed sweep with 95% intervals")
     print("  smt --mix NAME              — SMT multi-program mix (per-thread IPC,")
     print("                                weighted speedup, fairness, EPI)")
+    print("  trace record BENCH P[.gz]   — record a replayable true-path trace")
+    print("  trace replay PATH [--verify]— replay it through the full pipeline")
     print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
     print(f"mixes: {', '.join(MIX_NAMES)} (policies: {', '.join(POLICY_NAMES)})")
     print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
@@ -281,6 +290,82 @@ def _cmd_smt(options, cache: Optional[ResultCache]) -> None:
     print(format_smt_report(results[0], results[1:]))
 
 
+def _cmd_trace(options) -> None:
+    """``repro trace record BENCH PATH`` / ``repro trace replay PATH``."""
+    import json as json_mod
+
+    from repro.experiments.engine import (
+        default_instructions,
+        default_warmup,
+        make_trace_cell,
+        result_to_dict,
+        simulate,
+    )
+    from repro.workloads.trace import REPLAY_HEADROOM, record_benchmark_trace
+
+    usage = (
+        "usage: repro trace record BENCHMARK PATH[.gz] [--instructions N] "
+        "[--seed S]\n       repro trace replay PATH[.gz] [--instructions N] "
+        "[--warmup N] [--verify]"
+    )
+    if not options.args:
+        raise SystemExit(usage)
+    action = options.args[0]
+
+    if action == "record":
+        if len(options.args) != 3:
+            raise SystemExit(usage)
+        benchmark, path = options.args[1], options.args[2]
+        if benchmark not in BENCHMARK_NAMES:
+            raise SystemExit(f"unknown benchmark {benchmark!r}")
+        count = options.instructions or (
+            default_instructions() + default_warmup() + REPLAY_HEADROOM
+        )
+        header = record_benchmark_trace(
+            benchmark, path, count, seed=options.seed
+        )
+        print(
+            f"recorded {header.records} true-path records of "
+            f"{header.benchmark!r} (seed {header.seed}) to {path}"
+        )
+        return
+
+    if action == "replay":
+        if len(options.args) != 2:
+            raise SystemExit(usage)
+        path = options.args[1]
+        cell = make_trace_cell(
+            path,
+            instructions=options.instructions,
+            warmup=options.warmup,
+        )
+        result = simulate(cell)
+        print(f"replayed {path} ({cell.benchmark}, seed {cell.seed}):")
+        print(f"  committed           {result.instructions:8d}")
+        print(f"  cycles              {result.cycles:8d}")
+        print(f"  IPC                 {result.ipc:8.3f}")
+        print(f"  miss rate           {result.miss_rate * 100:7.2f}%")
+        print(f"  average power       {result.average_power_watts:8.2f} W")
+        print(f"  wasted energy       {result.wasted_energy_fraction * 100:7.2f}%")
+        if options.verify:
+            from dataclasses import replace as dc_replace
+
+            live = simulate(dc_replace(cell, trace=None, label=None))
+            replayed = result_to_dict(dc_replace(result, label=live.label))
+            lived = result_to_dict(live)
+            same = json_mod.dumps(replayed, sort_keys=True) == json_mod.dumps(
+                lived, sort_keys=True
+            )
+            if not same:
+                raise SystemExit(
+                    "FAIL: trace replay diverged from the live walk"
+                )
+            print("verify: replay is bit-identical to the live walk")
+        return
+
+    raise SystemExit(usage)
+
+
 def _experiment_spec(name: str) -> tuple:
     """Map a CLI experiment name to a controller spec.
 
@@ -317,6 +402,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     command = options.command
     if command == "list":
         _cmd_list()
+        return 0
+    if command == "trace":
+        _cmd_trace(options)
         return 0
 
     options.jobs = _effective_jobs(options.jobs)

@@ -37,13 +37,17 @@ from repro.bpred.base import BranchPredictor, Prediction
 from repro.confidence.base import ConfidenceEstimator, ConfidenceLevel, history_of_snapshot
 from repro.errors import ConfigurationError
 from repro.utils.bitops import bit_mask, log2_exact
-from repro.utils.rng import stateless_hash
+from repro.utils.rng import stateless_hash, stateless_hash_step
+
+_MASK64 = (1 << 64) - 1
 
 COUNTER_BITS = 3
 COUNTER_MAX = (1 << COUNTER_BITS) - 1
 TAG_BITS = 13
 # Entry layout: tag + 3-bit counter, rounded to 16 bits of storage.
 ENTRY_BITS = 16
+
+_TAG_MASK = bit_mask(TAG_BITS)
 
 # Counter-to-level mapping of paper §4.3.
 _LEVEL_OF_COUNTER = (
@@ -100,12 +104,16 @@ class BPRUEstimator(ConfidenceEstimator):
         self._stable_trips: dict = {}  # pc -> trip confirmed twice in a row
         self._spec_streaks: dict = {}  # pc -> speculative consecutive-taken run
         self._commit_streaks: dict = {}  # pc -> committed consecutive-taken run
+        # Per-pc prefix of the value-draw hash chain: ``stateless_hash``
+        # folds its arguments one at a time, so the (seed, pc) stage is a
+        # per-branch constant and each draw pays one step.
+        self._pc_partials: dict = {}
 
     def _index(self, pc: int, history: int) -> int:
         return ((pc >> 2) ^ history) & self._mask
 
     def _tag(self, pc: int) -> int:
-        return (pc >> 2) & bit_mask(TAG_BITS)
+        return (pc >> 2) & _TAG_MASK
 
     def set_actual(self, taken: bool) -> None:
         self._actual = taken
@@ -119,7 +127,13 @@ class BPRUEstimator(ConfidenceEstimator):
     ) -> ConfidenceLevel:
         actual, self._actual = self._actual, None
         if actual is not None and self.value_hit_rate > 0.0:
-            draw = stateless_hash(self._seed, pc, self._draws) % 10_000
+            partials = self._pc_partials
+            partial = partials.get(pc)
+            if partial is None:
+                partial = partials[pc] = stateless_hash_step(
+                    self._seed & _MASK64, pc
+                )
+            draw = stateless_hash_step(partial, self._draws) % 10_000
             if update_state:
                 self._draws += 1
             if draw < self.value_hit_rate * 10_000:
@@ -130,8 +144,8 @@ class BPRUEstimator(ConfidenceEstimator):
                 return ConfidenceLevel.VHC
         exit_expected = self._anticipate_exit(pc, prediction.taken, update_state)
         history = history_of_snapshot(prediction.snapshot)
-        index = self._index(pc, history)
-        if self.tags[index] == self._tag(pc):
+        index = ((pc >> 2) ^ history) & self._mask
+        if self.tags[index] == (pc >> 2) & _TAG_MASK:
             self.table_hits += 1
             level = _LEVEL_OF_COUNTER[self.counters[index]]
         else:

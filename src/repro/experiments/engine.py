@@ -142,6 +142,14 @@ class SimCell:
     simulator is deterministic), which is what makes the on-disk cache
     and the parallel fan-out safe.  ``label`` is display-only and is
     deliberately excluded from the fingerprint.
+
+    ``supply`` selects the front-end instruction source: ``"compiled"``
+    (the pre-lowered packet supply, the default) or ``"live"`` (the seed
+    per-instruction walkers) — the two are bit-identical and exist for
+    parity testing and profiling.  ``trace`` names a recorded v2 trace
+    file to replay instead; the cell's benchmark and seed must match the
+    trace header (use :func:`make_trace_cell`), and the trace's *content
+    digest* joins the fingerprint so a re-recorded file misses cleanly.
     """
 
     benchmark: str
@@ -152,6 +160,8 @@ class SimCell:
     seed: Optional[int] = None
     clock_gating: str = ClockGatingStyle.CC3.value
     label: Optional[str] = None
+    supply: str = "compiled"
+    trace: Optional[str] = None
 
     @property
     def effective_seed(self) -> int:
@@ -174,8 +184,15 @@ def make_cell(
     seed: Optional[int] = None,
     clock_gating: str = ClockGatingStyle.CC3.value,
     label: Optional[str] = None,
+    supply: str = "compiled",
+    trace: Optional[str] = None,
 ) -> SimCell:
     """Build a :class:`SimCell`, filling library defaults for blanks."""
+    if supply not in ("compiled", "live"):
+        raise ExperimentError(
+            f"unknown supply kind {supply!r}; known: compiled, live "
+            "(pass trace= for a trace-backed cell)"
+        )
     return SimCell(
         benchmark=benchmark,
         controller_spec=tuple(controller_spec),
@@ -185,6 +202,44 @@ def make_cell(
         seed=seed,
         clock_gating=clock_gating,
         label=label,
+        supply=supply,
+        trace=trace,
+    )
+
+
+def make_trace_cell(
+    trace_path: str,
+    controller_spec: ControllerSpec = ("baseline",),
+    config: Optional[ProcessorConfig] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    clock_gating: str = ClockGatingStyle.CC3.value,
+    label: Optional[str] = None,
+) -> SimCell:
+    """Build a trace-backed :class:`SimCell` from a recorded v2 trace.
+
+    The benchmark and seed come from the trace header, so the cell
+    replays exactly the program the trace was recorded from.
+    """
+    from repro.workloads.trace import TraceReader
+
+    header = TraceReader(trace_path).read_header()
+    if header is None:
+        raise ExperimentError(
+            f"{trace_path}: headerless (v1) traces cannot drive a pipeline "
+            "replay; re-record with `repro trace record`"
+        )
+    return SimCell(
+        benchmark=header.benchmark,
+        controller_spec=tuple(controller_spec),
+        config=config or table3_config(),
+        instructions=instructions or default_instructions(),
+        warmup=default_warmup() if warmup is None else warmup,
+        seed=header.seed,
+        clock_gating=clock_gating,
+        label=label or f"trace:{header.benchmark}",
+        supply="compiled",
+        trace=trace_path,
     )
 
 
@@ -228,7 +283,30 @@ def simulate(cell: SimCell) -> SimulationResult:
     if confidence_kind is not None and config.confidence_kind != confidence_kind:
         config = replace(config, confidence_kind=confidence_kind)
 
-    program = _program_for(spec)
+    supply = None
+    if cell.trace:
+        from repro.workloads.trace import load_trace_supply
+
+        supply, header = load_trace_supply(cell.trace)
+        if header.benchmark != cell.benchmark or header.seed != seed:
+            raise ExperimentError(
+                f"trace {cell.trace} was recorded from "
+                f"{header.benchmark!r}/seed {header.seed}, but the cell asks "
+                f"for {cell.benchmark!r}/seed {seed}; build trace cells with "
+                "make_trace_cell"
+            )
+        program = supply.program
+    else:
+        if cell.supply not in ("compiled", "live"):
+            raise ExperimentError(
+                f"unknown supply kind {cell.supply!r}; known: compiled, "
+                "live (trace replays set the cell's trace field)"
+            )
+        program = _program_for(spec)
+        if cell.supply == "live":
+            from repro.frontend.supply import LiveSupply
+
+            supply = LiveSupply(program, seed)
     controller = make_controller(cell.controller_spec)
     processor = Processor(
         config,
@@ -236,6 +314,7 @@ def simulate(cell: SimCell) -> SimulationResult:
         controller=controller,
         clock_gating=ClockGatingStyle(cell.clock_gating),
         seed=seed,
+        supply=supply,
     )
     stats = processor.run(cell.instructions, warmup_instructions=cell.warmup)
     power = processor.power
@@ -405,8 +484,23 @@ def cell_fingerprint(cell: SimCell) -> str:
         "instructions": cell.instructions,
         "warmup": cell.warmup,
     }
+    # Non-default supplies join the fingerprint only when used, so every
+    # pre-existing cache entry keeps its address.  A trace cell hashes the
+    # trace file's *content*: replaying a re-recorded file is a clean miss.
+    if cell.supply != "compiled":
+        payload["supply"] = cell.supply
+    if cell.trace:
+        payload["trace_sha256"] = _file_sha256(cell.trace)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def smt_cell_fingerprint(cell: SmtCell) -> str:

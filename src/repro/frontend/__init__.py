@@ -1,0 +1,39 @@
+"""The front-end instruction-supply layer.
+
+Everything the fetch stage consumes — true-path records, wrong-path
+packets, trace replays — flows through one :class:`InstructionSupply`
+contract with three implementations:
+
+* :class:`~repro.frontend.supply.CompiledSupply` — the default: every CFG
+  basic block is pre-lowered once into a flat, reusable packet (shared
+  constant records plus lazily-stamped dynamic slots), so fetch consumes
+  whole blocks instead of paying a Python call per instruction;
+* :class:`~repro.frontend.supply.LiveSupply` — the seed reference: the
+  original per-instruction :class:`~repro.program.walker.TruePathOracle` /
+  :class:`~repro.program.walker.WrongPathNavigator` walk behind the packet
+  interface (bit-identical to the compiled supply; parity-tested);
+* :class:`~repro.frontend.supply.TraceSupply` — replays a recorded
+  true-path trace through the full pipeline while wrong paths still walk
+  the CFG, so a replay is bit-identical to the live run it was recorded
+  from.
+"""
+
+from repro.frontend.supply import (
+    CompiledSupply,
+    InstructionSupply,
+    LiveSupply,
+    SUPPLY_KINDS,
+    TraceSupply,
+    build_supply,
+    resolve_trace_records,
+)
+
+__all__ = [
+    "CompiledSupply",
+    "InstructionSupply",
+    "LiveSupply",
+    "SUPPLY_KINDS",
+    "TraceSupply",
+    "build_supply",
+    "resolve_trace_records",
+]

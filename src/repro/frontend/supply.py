@@ -1,0 +1,753 @@
+"""Instruction supplies: precompiled block packets behind one contract.
+
+The fetch stage used to pay one Python call per fetched instruction —
+``TruePathOracle.get`` on the true path, ``WrongPathNavigator.fetch_one``
+down wrong paths.  An :class:`InstructionSupply` replaces both with a
+block-granular contract:
+
+* **true path** — an indexable ring of
+  :class:`~repro.program.walker.DynamicRecord` (``_records`` / ``_base``,
+  ``get``, ``prune_before``: the exact surface of the seed oracle, so
+  trace recorders and calibration code run on either), generated a whole
+  basic block at a time from pre-lowered tables;
+* **wrong path** — ``wrong_packet(cursor)`` returns ``(records, end)``:
+  every record from the cursor up to and including the block's terminator
+  (or the first control instruction), plus the cursor the walk continues
+  from.  Cursors keep the seed walker's ``(block_id, index, stack, step)``
+  shape, so branch-recovery state is unchanged.
+
+**Pre-lowering.**  ``CompiledSupply`` compiles each basic block once into
+a packet template: records that never change (non-memory body
+instructions, unconditional jump/call terminators, zero-stride memory
+accesses) are built a single time and *shared* across every visit —
+records are immutable tuples, so aliasing is unobservable — while dynamic
+slots (strided memory, conditional/return terminators) are stamped per
+visit.  Wrong-path hashing exploits that
+:func:`~repro.utils.rng.stateless_hash` chains per argument: the
+per-static / per-block first stage is precomputed, leaving one splitmix
+step per stamp.  Table compilation is cached on the ``Program`` instance,
+so the many cells of a figure sweep that share a memoised program compile
+once.
+
+Bit-exactness against the seed walker is enforced by
+``tests/test_frontend_supply.py`` (stream parity on every calibrated
+benchmark plus adversarial CFG shapes) and, end to end, by the 38 golden
+fingerprints of ``tests/test_stage_kernel_parity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProgramError, SimulationError, WorkloadError
+from repro.program.cfg import Program, TerminatorKind
+from repro.program.walker import (
+    DynamicRecord,
+    HISTORY_BITS,
+    TruePathOracle,
+    WrongPathNavigator,
+    WrongPathCursor,
+)
+from repro.utils.rng import derive_seed, stateless_hash_step as _hash_step
+
+SUPPLY_KINDS = ("compiled", "live", "trace")
+
+_HISTORY_MASK = (1 << HISTORY_BITS) - 1
+
+_MASK64 = (1 << 64) - 1
+
+# Wrong-path data accesses scatter over the whole 1 MB region (see
+# WrongPathNavigator._wrong_data_address).
+_WP_SPAN_MASK = 0x10_0000 - 1
+
+_REC = DynamicRecord
+
+# Terminator kinds as small ints (enum identity checks are a hot-loop
+# regression; see docs/ARCHITECTURE.md "Performance invariants").
+_K_FALL, _K_COND, _K_JUMP, _K_CALL, _K_RET = range(5)
+_KIND_CODES = {
+    TerminatorKind.FALL: _K_FALL,
+    TerminatorKind.COND: _K_COND,
+    TerminatorKind.JUMP: _K_JUMP,
+    TerminatorKind.CALL: _K_CALL,
+    TerminatorKind.RET: _K_RET,
+}
+
+
+class InstructionSupply:
+    """The contract between the fetch stage and its instruction source.
+
+    Implementations provide the true-path ring (``_records``/``_base``
+    plus :meth:`get` / :meth:`prune_before` — the seed oracle's surface)
+    and the wrong-path packet walk (:meth:`start_cursor` /
+    :meth:`wrong_packet`).  All implementations are bit-identical on the
+    record streams they serve; they differ only in speed and source.
+    """
+
+    kind = "abstract"
+
+    #: The program this supply walks.
+    program: Program
+
+    def get(self, stream_index: int) -> DynamicRecord:
+        """Return the true-path record at an absolute stream index."""
+        raise NotImplementedError
+
+    def prune_before(self, stream_index: int) -> None:
+        """Drop true-path records older than ``stream_index``."""
+        raise NotImplementedError
+
+    def start_cursor(self, block_id: int, salt: int) -> WrongPathCursor:
+        """Cursor for entering a wrong path at the top of ``block_id``."""
+        raise NotImplementedError
+
+    def wrong_packet(self, cursor: WrongPathCursor):
+        """Return ``(records, end_cursor)`` for the wrong path at ``cursor``.
+
+        ``records`` is a non-empty list of ``(static, taken, target_block,
+        mem_address)`` tuples covering the cursor's block up to and
+        including its terminator (or the first control instruction);
+        ``end_cursor`` is where the walk continues.  Only the last record
+        of a packet may be a control instruction.
+        """
+        raise NotImplementedError
+
+
+def _packet_via_navigator(navigator: WrongPathNavigator, cursor):
+    """Reference packet builder: one ``fetch_one`` call per record."""
+    records = []
+    append = records.append
+    fetch_one = navigator.fetch_one
+    while True:
+        static, taken, target, cursor, mem_address = fetch_one(cursor)
+        append((static, taken, target, mem_address))
+        # A control instruction ends the packet; so does a block boundary
+        # (the successor cursor re-enters at instruction index 0).
+        if static.is_branch or cursor[1] == 0:
+            return records, cursor
+
+
+class LiveSupply(InstructionSupply):
+    """The seed walkers behind the packet contract (reference implementation).
+
+    Wraps one :class:`TruePathOracle` and one :class:`WrongPathNavigator`
+    per thread; every record still costs a Python call, which is exactly
+    what makes this the oracle for supply-parity tests and the baseline
+    of ``benchmarks/bench_frontend_supply.py``.
+    """
+
+    kind = "live"
+
+    def __init__(self, program: Program, seed: int) -> None:
+        self.program = program
+        self._oracle = TruePathOracle(program, seed)
+        self._navigator = WrongPathNavigator(program, seed)
+        # The oracle mutates its ring in place (append/del) and never
+        # rebinds it, so the list can be aliased for the fetch fast path.
+        self._records = self._oracle._records
+
+    @property
+    def _base(self) -> int:
+        return self._oracle._base
+
+    def get(self, stream_index: int) -> DynamicRecord:
+        return self._oracle.get(stream_index)
+
+    def prune_before(self, stream_index: int) -> None:
+        self._oracle.prune_before(stream_index)
+
+    def start_cursor(self, block_id: int, salt: int) -> WrongPathCursor:
+        return self._navigator.start_cursor(block_id, salt)
+
+    def wrong_packet(self, cursor):
+        return _packet_via_navigator(self._navigator, cursor)
+
+
+# ----------------------------------------------------------------------
+# Pre-lowered block tables
+# ----------------------------------------------------------------------
+
+class _TrueBlock:
+    """One basic block lowered for true-path generation.
+
+    ``variant_taken``/``variant_not`` are complete, shareable record
+    lists for memory-free conditional blocks — the most common block
+    shape — whose only per-visit variation is the terminator outcome.
+    """
+
+    __slots__ = (
+        "block_id",
+        "n",
+        "template",
+        "mem_ops",
+        "kind",
+        "taken_target",
+        "fall_target",
+        "behavior",
+        "term_static",
+        "term_mem",
+        "dynamic",
+        "variant_taken",
+        "variant_not",
+    )
+
+
+class _WpBlock:
+    """One basic block lowered for wrong-path packet stamping.
+
+    Like :class:`_TrueBlock`, memory-free conditional blocks carry both
+    outcome variants prebuilt, so their packets are served without a copy.
+    """
+
+    __slots__ = (
+        "n",
+        "template",
+        "mem_ops",
+        "kind",
+        "taken_target",
+        "fall_target",
+        "term_static",
+        "block_partial",
+        "regular",
+        "variant_taken",
+        "variant_not",
+    )
+
+
+class CompiledTables:
+    """Per-program pre-lowered block tables, cached on the ``Program``.
+
+    True-path tables are pure functions of the program text; wrong-path
+    tables additionally bake in partial hash states of the derived
+    wrong-path seed, so they are cached per seed.  Blocks are compiled
+    lazily — short runs touch a fraction of a large program.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._true: Dict[int, _TrueBlock] = {}
+        self._wp_by_seed: Dict[int, Dict[int, _WpBlock]] = {}
+
+    @staticmethod
+    def of(program: Program) -> "CompiledTables":
+        tables = getattr(program, "_frontend_tables", None)
+        if tables is None:
+            tables = CompiledTables(program)
+            program._frontend_tables = tables
+        return tables
+
+    def wp_cache(self, wp_seed: int) -> Dict[int, _WpBlock]:
+        cache = self._wp_by_seed.get(wp_seed)
+        if cache is None:
+            cache = self._wp_by_seed[wp_seed] = {}
+        return cache
+
+    # -- empty fall-through chain resolution (same guards as the walkers)
+
+    def _resolve_true(self, block_id: int):
+        block = self.program.block(block_id)
+        hops = 0
+        while not block.instructions:
+            if block.kind is not TerminatorKind.FALL:
+                raise ProgramError(f"empty non-FALL block {block.block_id}")
+            block = self.program.block(block.fall_target)
+            hops += 1
+            if hops > len(self.program.blocks):
+                raise ProgramError("cycle of empty fall-through blocks")
+        return block
+
+    def _resolve_wp(self, block_id: int):
+        blocks = self.program.blocks
+        block = blocks[block_id]
+        hops = 0
+        while not block.instructions:
+            block = blocks[block.fall_target]
+            hops += 1
+            if hops > len(blocks):
+                raise ProgramError("cycle of empty fall-through blocks")
+        return block
+
+    # -- true-path lowering
+
+    def true_block(self, block_id: int) -> _TrueBlock:
+        entry = self._true.get(block_id)
+        if entry is None:
+            entry = self._compile_true(block_id)
+            self._true[block_id] = entry
+        return entry
+
+    def _compile_true(self, block_id: int) -> _TrueBlock:
+        block = self._resolve_true(block_id)
+        statics = block.instructions
+        n = len(statics)
+        kind = _KIND_CODES[block.kind]
+        term = statics[-1]
+
+        template: List[Optional[tuple]] = [None] * n
+        mem_ops = []
+        for idx, static in enumerate(statics):
+            is_term = idx == n - 1 and kind != _K_FALL
+            if is_term:
+                continue  # terminator slot handled below
+            if static.is_mem:
+                base = 0x1000_0000 + static.mem_region * 0x10_0000
+                mask = static.mem_footprint - 1
+                if static.mem_stride == 0:
+                    # Zero-stride accesses hit a fixed offset of their
+                    # working set: the record is a per-block constant.
+                    address = base + (((static.address * 16) & mask) & ~0x3)
+                    template[idx] = _REC(static, False, -1, address)
+                else:
+                    mem_ops.append(
+                        (idx, static, static.address, static.mem_stride, mask, base)
+                    )
+            else:
+                template[idx] = _REC(static, False, -1, 0)
+
+        # Terminator lowering.  The walk treats a block's *last* record as
+        # its terminator whatever its opcode, so a (hand-built) memory
+        # terminator keeps its visit-addressed data access.
+        term_mem = None
+        if kind != _K_FALL:
+            if term.is_mem:
+                base = 0x1000_0000 + term.mem_region * 0x10_0000
+                mask = term.mem_footprint - 1
+                const = None
+                if term.mem_stride == 0:
+                    const = base + (((term.address * 16) & mask) & ~0x3)
+                term_mem = (term.address, term.mem_stride, mask, base, const)
+            elif kind == _K_JUMP or kind == _K_CALL:
+                template[n - 1] = _REC(term, True, block.taken_target, 0)
+
+        entry = _TrueBlock()
+        entry.block_id = block.block_id
+        entry.n = n
+        entry.template = template
+        entry.mem_ops = tuple(mem_ops)
+        entry.kind = kind
+        entry.taken_target = block.taken_target
+        entry.fall_target = block.fall_target
+        entry.behavior = block.behavior
+        entry.term_static = term
+        entry.term_mem = term_mem
+        entry.dynamic = bool(
+            mem_ops or term_mem is not None or kind == _K_COND or kind == _K_RET
+        )
+        entry.variant_taken = None
+        entry.variant_not = None
+        if kind == _K_COND and not mem_ops and term_mem is None:
+            # Memory-free conditional block: the whole record list is a
+            # per-outcome constant.  Records are immutable and consumers
+            # treat packets/rings as read-only, so both variants are
+            # shared across every visit.
+            taken = template.copy()
+            taken[n - 1] = _REC(term, True, block.taken_target, 0)
+            not_taken = template.copy()
+            not_taken[n - 1] = _REC(term, False, block.fall_target, 0)
+            entry.variant_taken = taken
+            entry.variant_not = not_taken
+        return entry
+
+    # -- wrong-path lowering
+
+    def wp_block(self, block_id: int, wp_seed: int, cache: Dict[int, _WpBlock]) -> _WpBlock:
+        entry = cache.get(block_id)
+        if entry is None:
+            entry = self._compile_wp(block_id, wp_seed)
+            cache[block_id] = entry
+        return entry
+
+    def _compile_wp(self, block_id: int, wp_seed: int) -> _WpBlock:
+        block = self._resolve_wp(block_id)
+        statics = block.instructions
+        n = len(statics)
+        kind = _KIND_CODES[block.kind]
+        term = statics[-1]
+        seed_state = wp_seed & _MASK64
+
+        # The packet fast path assumes the one control instruction of a
+        # block is its terminator; hand-built blocks with control opcodes
+        # mid-block (or a memory terminator, whose record mixes a dynamic
+        # outcome with a dynamic address) fall back to the stepwise walk.
+        regular = all(not static.is_branch for static in statics[:-1])
+        if kind != _K_FALL and term.is_mem:
+            regular = False
+
+        template: List[Optional[tuple]] = [None] * n
+        mem_ops = []
+        for idx, static in enumerate(statics):
+            is_last = idx == n - 1
+            if is_last and kind != _K_FALL:
+                if kind == _K_JUMP or kind == _K_CALL:
+                    template[idx] = (term, True, block.taken_target, 0)
+                continue  # COND/RET outcome stamped per packet
+            # Down a wrong path, the last record of a FALL block carries
+            # its fall-through target (mirroring the seed walker).
+            taken, target = (False, block.fall_target) if is_last else (False, -1)
+            if static.is_mem:
+                mem_ops.append(
+                    (
+                        idx,
+                        static,
+                        taken,
+                        target,
+                        _hash_step(seed_state, static.address),
+                        0x1000_0000 + static.mem_region * 0x10_0000,
+                    )
+                )
+            else:
+                template[idx] = (static, taken, target, 0)
+
+        entry = _WpBlock()
+        entry.n = n
+        entry.template = template
+        entry.mem_ops = tuple(mem_ops)
+        entry.kind = kind
+        entry.taken_target = block.taken_target
+        entry.fall_target = block.fall_target
+        entry.term_static = term
+        entry.block_partial = _hash_step(seed_state, block.block_id)
+        entry.regular = regular
+        entry.variant_taken = None
+        entry.variant_not = None
+        if regular and kind == _K_COND and not mem_ops:
+            taken = template.copy()
+            taken[n - 1] = (term, True, block.taken_target, 0)
+            not_taken = template.copy()
+            not_taken[n - 1] = (term, False, block.fall_target, 0)
+            entry.variant_taken = taken
+            entry.variant_not = not_taken
+        return entry
+
+
+class CompiledSupply(InstructionSupply):
+    """The default supply: pre-lowered per-block packets, stamped lazily.
+
+    Serves streams bit-identical to :class:`LiveSupply` — the true-path
+    walk advances the same behaviour state in the same order, and every
+    wrong-path stamp reproduces the seed walker's stateless hashes — while
+    doing per-*block* instead of per-*instruction* Python work.
+
+    Like the seed oracle, constructing a supply takes ownership of the
+    program's branch-behaviour state (``reset_behaviors``); build one
+    supply per concurrent walker.
+    """
+
+    kind = "compiled"
+
+    def __init__(self, program: Program, seed: int) -> None:
+        if not program.finalized:
+            raise ProgramError("program must be finalized before walking")
+        self.program = program
+        program.reset_behaviors()
+        self.seed = seed
+        self._tables = CompiledTables.of(program)
+        self._wp_seed = derive_seed(seed, "wrongpath")
+        self._wp_cache = self._tables.wp_cache(self._wp_seed)
+        self._nblocks = len(program.blocks)
+        # True-path ring (same surface as TruePathOracle).
+        self._records: List[DynamicRecord] = []
+        self._base = 0
+        self._block_id = program.entry_block
+        self._stack: List[int] = []
+        self.global_history = 0
+        self._visit_counts: Dict[int, int] = {}
+        # Stepwise fallback for irregular blocks / mid-block cursors.
+        self._fallback: Optional[WrongPathNavigator] = None
+
+    # -- true path ------------------------------------------------------
+
+    def get(self, stream_index: int) -> DynamicRecord:
+        """Return the record at an absolute stream index, generating as needed."""
+        offset = stream_index - self._base
+        records = self._records
+        if 0 <= offset < len(records):
+            return records[offset]
+        if offset < 0:
+            raise SimulationError(
+                f"true-path record {stream_index} was pruned (base={self._base})"
+            )
+        self._generate_blocks(offset - len(records) + 1)
+        return records[offset]
+
+    def prune_before(self, stream_index: int) -> None:
+        """Drop records older than ``stream_index`` (already committed)."""
+        drop = stream_index - self._base
+        if drop > 0:
+            del self._records[:drop]
+            self._base = stream_index
+
+    def _generate_blocks(self, count: int) -> None:
+        """Extend the ring by at least ``count`` records, whole blocks at
+        a time (block granularity over the seed oracle's fixed look-ahead
+        is unobservable: generation has no external effects beyond the
+        behaviour state it advances in true-path order either way)."""
+        records = self._records
+        extend = records.extend
+        tables = self._tables
+        true_block = tables.true_block
+        block_id = self._block_id
+        visit_counts = self._visit_counts
+        stack = self._stack
+        produced = 0
+        while produced < count:
+            tb = true_block(block_id)
+            kind = tb.kind
+            if not tb.dynamic:
+                # Fully-constant block: share the template records as-is.
+                extend(tb.template)
+                if kind == _K_JUMP:
+                    block_id = tb.taken_target
+                elif kind == _K_CALL:
+                    stack.append(tb.fall_target)
+                    block_id = tb.taken_target
+                else:  # FALL
+                    block_id = tb.fall_target
+                produced += tb.n
+                continue
+
+            if tb.variant_taken is not None:
+                # Memory-free conditional block: resolve the outcome and
+                # share the matching prebuilt variant — no per-visit
+                # record construction at all.
+                outcome = tb.behavior.next_outcome(self.global_history)
+                self.global_history = (
+                    (self.global_history << 1) | int(outcome)
+                ) & _HISTORY_MASK
+                if outcome:
+                    extend(tb.variant_taken)
+                    block_id = tb.taken_target
+                else:
+                    extend(tb.variant_not)
+                    block_id = tb.fall_target
+                produced += tb.n
+                continue
+
+            recs = tb.template.copy()
+            for idx, static, key, stride, mask, base in tb.mem_ops:
+                visit = visit_counts.get(key, 0)
+                visit_counts[key] = visit + 1
+                recs[idx] = _REC(
+                    static, False, -1, base + (((stride * visit) & mask) & ~0x3)
+                )
+
+            if kind == _K_COND:
+                outcome = tb.behavior.next_outcome(self.global_history)
+                self.global_history = (
+                    (self.global_history << 1) | int(outcome)
+                ) & _HISTORY_MASK
+                target = tb.taken_target if outcome else tb.fall_target
+                taken = outcome
+                block_id = target
+            elif kind == _K_JUMP:
+                taken, target = True, tb.taken_target
+                block_id = tb.taken_target
+            elif kind == _K_CALL:
+                stack.append(tb.fall_target)
+                taken, target = True, tb.taken_target
+                block_id = tb.taken_target
+            elif kind == _K_RET:
+                if not stack:
+                    raise ProgramError(
+                        f"return with empty call stack in block {tb.block_id}"
+                    )
+                target = stack.pop()
+                taken = True
+                block_id = target
+            else:  # FALL block with strided memory slots: already stamped.
+                extend(recs)
+                block_id = tb.fall_target
+                produced += tb.n
+                continue
+
+            term_mem = tb.term_mem
+            if term_mem is None:
+                mem_address = 0
+            else:
+                key, stride, mask, base, const = term_mem
+                if const is not None:
+                    mem_address = const
+                else:
+                    visit = visit_counts.get(key, 0)
+                    visit_counts[key] = visit + 1
+                    mem_address = base + (((stride * visit) & mask) & ~0x3)
+            recs[-1] = _REC(tb.term_static, taken, target, mem_address)
+            extend(recs)
+            produced += tb.n
+        self._block_id = block_id
+
+    # -- wrong path -----------------------------------------------------
+
+    def start_cursor(self, block_id: int, salt: int) -> WrongPathCursor:
+        """Cursor for entering a wrong path at the top of ``block_id``."""
+        return (block_id, 0, (), salt & 0xFFFF)
+
+    def wrong_packet(self, cursor):
+        """Stamp one block's wrong-path packet from its pre-lowered table."""
+        block_id, index, stack, step = cursor
+        if index:
+            return self._wrong_packet_slow(cursor)
+        wpb = self._wp_cache.get(block_id)
+        if wpb is None:
+            wpb = self._tables.wp_block(block_id, self._wp_seed, self._wp_cache)
+        if not wpb.regular:
+            return self._wrong_packet_slow(cursor)
+
+        n = wpb.n
+        end_step = step + n
+        kind = wpb.kind
+        if wpb.variant_taken is not None:
+            # Memory-free conditional block: hash the outcome and share
+            # the matching prebuilt packet.
+            if _hash_step(wpb.block_partial, end_step - 1) & 1:
+                return wpb.variant_taken, (wpb.taken_target, 0, stack, end_step)
+            return wpb.variant_not, (wpb.fall_target, 0, stack, end_step)
+        mem_ops = wpb.mem_ops
+        if not mem_ops:
+            if kind == _K_JUMP:
+                # Fully-constant packet: records are immutable and the
+                # fetch loop treats packets as read-only, so the template
+                # itself is shared across every visit.
+                return wpb.template, (wpb.taken_target, 0, stack, end_step)
+            if kind == _K_CALL:
+                if len(stack) < 64:
+                    stack = stack + (wpb.fall_target,)
+                return wpb.template, (wpb.taken_target, 0, stack, end_step)
+            if kind == _K_FALL:
+                return wpb.template, (wpb.fall_target, 0, stack, end_step)
+            records = wpb.template.copy()
+        else:
+            records = wpb.template.copy()
+            for idx, static, taken, target, partial, base in mem_ops:
+                h = _hash_step(partial, step + idx)
+                records[idx] = (
+                    static, taken, target, base + ((h & _WP_SPAN_MASK) & ~0x3)
+                )
+        if kind == _K_COND:
+            outcome = _hash_step(wpb.block_partial, end_step - 1) & 1
+            target = wpb.taken_target if outcome else wpb.fall_target
+            records[n - 1] = (wpb.term_static, bool(outcome), target, 0)
+            return records, (target, 0, stack, end_step)
+        if kind == _K_JUMP:
+            return records, (wpb.taken_target, 0, stack, end_step)
+        if kind == _K_CALL:
+            if len(stack) < 64:
+                stack = stack + (wpb.fall_target,)
+            return records, (wpb.taken_target, 0, stack, end_step)
+        if kind == _K_RET:
+            if stack:
+                target = stack[-1]
+                stack = stack[:-1]
+            else:
+                target = (
+                    _hash_step(_hash_step(wpb.block_partial, end_step - 1), 7)
+                    % self._nblocks
+                )
+            records[n - 1] = (wpb.term_static, True, target, 0)
+            return records, (target, 0, stack, end_step)
+        # FALL: the template already carries the final record.
+        return records, (wpb.fall_target, 0, stack, end_step)
+
+    def _wrong_packet_slow(self, cursor):
+        """Stepwise fallback: mid-block cursors and irregular blocks."""
+        navigator = self._fallback
+        if navigator is None:
+            navigator = self._fallback = WrongPathNavigator(self.program, self.seed)
+        return _packet_via_navigator(navigator, cursor)
+
+
+class TraceSupply(CompiledSupply):
+    """Replay a recorded true-path trace through the full pipeline.
+
+    The true path comes from the trace verbatim; wrong paths still walk
+    the program's CFG with the recorded seed, so a replay reproduces the
+    live run bit for bit — including wrong-path fetch, squashes and the
+    wasted-energy accounting.  The trace must therefore have been
+    recorded from the same program and seed (the versioned trace header
+    carries both; see :mod:`repro.workloads.trace`).
+
+    A trace is finite: fetching past its last record raises
+    :class:`~repro.errors.WorkloadError` — record with headroom beyond
+    the measured window (the front end runs a few hundred instructions
+    ahead of commit).
+    """
+
+    kind = "trace"
+
+    def __init__(self, program: Program, seed: int, records) -> None:
+        super().__init__(program, seed)
+        self._records = list(records)
+        self._limit = len(self._records)
+
+    def get(self, stream_index: int) -> DynamicRecord:
+        offset = stream_index - self._base
+        records = self._records
+        if 0 <= offset < len(records):
+            return records[offset]
+        if offset < 0:
+            raise SimulationError(
+                f"true-path record {stream_index} was pruned (base={self._base})"
+            )
+        raise WorkloadError(
+            f"trace exhausted: the pipeline asked for true-path record "
+            f"{stream_index} but only {self._limit} were recorded; "
+            f"re-record with more headroom beyond the measured window"
+        )
+
+    def _generate_blocks(self, count: int) -> None:
+        raise WorkloadError(
+            "a trace supply cannot generate records beyond its recording"
+        )
+
+
+def resolve_trace_records(program: Program, trace_records) -> List[DynamicRecord]:
+    """Bind parsed trace records to a program's static instructions.
+
+    Each trace record names its static instruction by address; the
+    program (rebuilt deterministically from the trace header's benchmark
+    and seed) provides the full static — operands, latencies, block ids —
+    that the pipeline needs.  A record whose address or opcode does not
+    match the program is a trace/program mismatch and raises
+    :class:`~repro.errors.WorkloadError` with the offending record number.
+    """
+    statics_by_address = {}
+    for block in program.blocks:
+        for static in block.instructions:
+            statics_by_address[static.address] = static
+    records: List[DynamicRecord] = []
+    append = records.append
+    for number, trace_record in enumerate(trace_records, start=1):
+        static = statics_by_address.get(trace_record.address)
+        if static is None:
+            raise WorkloadError(
+                f"trace record {number}: no instruction at address "
+                f"{trace_record.address:#x} in program {program.name!r} "
+                f"(trace/program mismatch)"
+            )
+        if static.opcode.value != trace_record.opcode:
+            raise WorkloadError(
+                f"trace record {number}: opcode {trace_record.opcode!r} does "
+                f"not match {static.opcode.value!r} at {trace_record.address:#x} "
+                f"(trace/program mismatch)"
+            )
+        append(
+            _REC(
+                static,
+                trace_record.taken,
+                trace_record.target_block,
+                trace_record.mem_address,
+            )
+        )
+    return records
+
+
+def build_supply(kind: str, program: Program, seed: int) -> InstructionSupply:
+    """Instantiate a non-trace supply by kind name."""
+    if kind == "compiled":
+        return CompiledSupply(program, seed)
+    if kind == "live":
+        return LiveSupply(program, seed)
+    raise WorkloadError(
+        f"unknown supply kind {kind!r}; known: compiled, live "
+        "(trace supplies are built from a trace file)"
+    )

@@ -11,14 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.isa.opcodes import (
-    BRANCH_OPCODES,
-    Opcode,
-    OpClass,
-    fu_code_of,
-    opcode_class,
-    opcode_latency,
-)
+from repro.isa.opcodes import OPCODE_META, Opcode, OpClass
 
 
 class StaticInstruction:
@@ -62,9 +55,16 @@ class StaticInstruction:
     ) -> None:
         self.address = address
         self.opcode = opcode
-        self.op_class = opcode_class(opcode)
-        self.latency = opcode_latency(opcode)
-        self.fu_code = fu_code_of(self.op_class)
+        (
+            self.op_class,
+            self.latency,
+            self.fu_code,
+            self.is_branch,
+            self.is_cond_branch,
+            self.is_load,
+            self.is_store,
+            self.is_mem,
+        ) = OPCODE_META[opcode]
         self.dest = dest
         self.sources = sources
         self.block_id = block_id
@@ -74,11 +74,6 @@ class StaticInstruction:
         self.mem_region = mem_region
         self.mem_stride = mem_stride
         self.mem_footprint = mem_footprint
-        self.is_branch = opcode in BRANCH_OPCODES
-        self.is_cond_branch = opcode is Opcode.BR_COND
-        self.is_load = opcode is Opcode.LOAD
-        self.is_store = opcode is Opcode.STORE
-        self.is_mem = self.is_load or self.is_store
 
     def __repr__(self) -> str:
         return (
@@ -93,6 +88,7 @@ class DynamicInstruction:
     Attributes are grouped by pipeline concern:
 
     * identity: ``seq`` (global fetch order), ``static``, ``pc``
+      (branch-only slot; everyone else reads ``static.address``)
     * control flow: prediction, true outcome/target, confidence label
     * rename: physical dest/sources, old mapping for recovery
     * timing: the cycle each pipeline event happened
@@ -140,7 +136,9 @@ class DynamicInstruction:
         "latch_ready",
         # memory
         "mem_address",
-        # timing marks (cycle numbers, -1 = not yet)
+        # timing marks (cycle numbers; stamped by the stages only while a
+        # pipeline observer is attached — read via getattr with a -1
+        # default)
         "fetch_cycle",
         "decode_cycle",
         "rename_cycle",
@@ -164,7 +162,6 @@ class DynamicInstruction:
     ) -> None:
         self.seq = seq
         self.static = static
-        self.pc = static.address
         self.thread_id = thread_id
 
         self.phys_dest = -1
@@ -173,11 +170,6 @@ class DynamicInstruction:
         self.completed = False
 
         self.fetch_cycle = fetch_cycle
-        self.decode_cycle = -1
-        self.rename_cycle = -1
-        self.issue_cycle = -1
-        self.complete_cycle = -1
-        self.commit_cycle = -1
 
         self.on_wrong_path = on_wrong_path
         self.squashed = False
@@ -185,11 +177,18 @@ class DynamicInstruction:
         self.unit_accesses = None  # lazily attached by the power model
 
         # Lazily-populated slots (left unset for speed — the fetch loop
-        # creates hundreds of thousands of instances per run):
+        # instantiates this class inline, slot by slot, hundreds of
+        # thousands of times per run; this constructor mirrors its store
+        # set for standalone construction):
         #
-        # * control-flow state is only set/read on control instructions
+        # * control-flow state (prediction, outcome, checkpoints, resume
+        #   cursors, ``pc``) is only set/read on control instructions
         #   (every read sits behind an ``is_branch``/``is_cond_branch``
         #   guard), so non-branches skip those stores entirely;
+        # * per-stage timing marks (``decode_cycle`` .. ``commit_cycle``)
+        #   are stamped by the stages only while a pipeline observer is
+        #   attached (they exist for pipetraces); cold readers use
+        #   ``getattr`` defaults for stages an instruction never reached;
         # * ``true_index`` is stamped at fetch on true-path instructions
         #   and only read at commit (wrong-path work never commits);
         # * ``mem_address`` is stamped at fetch on memory instructions and
@@ -197,6 +196,7 @@ class DynamicInstruction:
         # * ``phys_sources``/``ready_sources``/``latch_ready`` are written
         #   at rename/dispatch/latch-insertion before any read.
         if static.is_branch:
+            self.pc = static.address
             self.predicted_taken = False
             self.actual_taken = False
             self.actual_target = 0
@@ -248,4 +248,7 @@ class DynamicInstruction:
         if self.squashed:
             flags.append("squashed")
         suffix = f" [{', '.join(flags)}]" if flags else ""
-        return f"DynamicInstruction(seq={self.seq}, pc={self.pc:#x}, {self.opcode.value}{suffix})"
+        return (
+            f"DynamicInstruction(seq={self.seq}, pc={self.static.address:#x}, "
+            f"{self.opcode.value}{suffix})"
+        )

@@ -136,6 +136,25 @@ def fu_code_of(op_class: OpClass) -> int:
     return _CLASS_FU_CODE[op_class]
 
 
+# Fused per-opcode metadata: (op_class, latency, fu_code, is_branch,
+# is_cond_branch, is_load, is_store, is_mem).  StaticInstruction
+# construction is a hot loop of program generation (tens of thousands of
+# instances per benchmark); one dict lookup replaces five.
+OPCODE_META = {
+    opcode: (
+        _OPCODE_CLASS[opcode],
+        _OPCODE_LATENCY[opcode],
+        _CLASS_FU_CODE[_OPCODE_CLASS[opcode]],
+        opcode in BRANCH_OPCODES,
+        opcode is Opcode.BR_COND,
+        opcode is Opcode.LOAD,
+        opcode is Opcode.STORE,
+        opcode in MEMORY_OPCODES,
+    )
+    for opcode in Opcode
+}
+
+
 def opcode_class(opcode: Opcode) -> OpClass:
     """Return the functional-unit class of an opcode."""
     try:

@@ -92,8 +92,13 @@ class Cache:
         return True
 
     def invalidate_all(self) -> None:
-        """Empty the cache (statistics are preserved)."""
-        self._sets = [[] for _ in range(self.num_sets)]
+        """Empty the cache (statistics are preserved).
+
+        Clears in place: the stage hot loops hold aliases of the set
+        array, which must stay valid across an invalidation.
+        """
+        for tag_set in self._sets:
+            tag_set.clear()
 
     def line_address(self, address: int) -> int:
         """Return the line-aligned address containing ``address``."""

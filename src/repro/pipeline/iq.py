@@ -23,6 +23,9 @@ _BY_SEQ = attrgetter("seq")
 class IssueQueue:
     """Out-of-order window between dispatch and execute."""
 
+    __slots__ = ("size", "count", "ready_list", "waiters",
+                 "wakeup_broadcasts", "ready_sorted")
+
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise SimulationError("issue queue size must be positive")
@@ -34,6 +37,12 @@ class IssueQueue:
         self.count = 0
         # Ready, unissued instructions in arrival (~program) order.
         self.ready_list: List[DynamicInstruction] = []
+        # True while ``ready_list`` is known to be in ascending fetch
+        # order.  Dispatch appends are seq-monotonic and select rebuilds
+        # the list in sorted order, so only a wakeup (which may ready an
+        # *older* waiter) can unsort it — select then skips its per-cycle
+        # sort whenever the flag still holds.
+        self.ready_sorted = True
         # Tag -> instructions waiting on it.
         self.waiters: Dict[int, List[DynamicInstruction]] = {}
         self.wakeup_broadcasts = 0
@@ -63,6 +72,10 @@ class IssueQueue:
         instruction.ready_sources = pending
         if pending == 0:
             self.ready_list.append(instruction)
+            # The pipeline's inlined dispatch appends in fetch order and
+            # keeps the sorted flag; this standalone API accepts any
+            # order, so stay conservative.
+            self.ready_sorted = False
 
     def wakeup(self, tag: int) -> int:
         """Broadcast a completed tag; returns the number of comparisons."""
@@ -77,6 +90,7 @@ class IssueQueue:
             instruction.ready_sources -= 1
             if instruction.ready_sources == 0:
                 ready.append(instruction)
+                self.ready_sorted = False
             woken += 1
         self.wakeup_broadcasts += 1
         return woken
@@ -96,8 +110,9 @@ class IssueQueue:
         ready = self.ready_list
         if not ready:
             return []
-        if len(ready) > 1:
+        if not self.ready_sorted and len(ready) > 1:
             ready.sort(key=_BY_SEQ)
+        self.ready_sorted = True
         try_claim_code = fu_pool.try_claim_code
         selected: List[DynamicInstruction] = []
         survivors: List[DynamicInstruction] = []

@@ -14,6 +14,8 @@ from repro.isa.instruction import DynamicInstruction
 class LoadStoreQueue:
     """Bounded set of in-flight memory operations."""
 
+    __slots__ = ("size", "occupied")
+
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise SimulationError("LSQ size must be positive")

@@ -59,6 +59,7 @@ from repro.confidence.selfconf import (
 )
 from repro.core.throttler import NullController, SpeculationController
 from repro.errors import ConfigurationError, SimulationError
+from repro.frontend.supply import CompiledSupply, InstructionSupply
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.iq import IssueQueue
@@ -72,7 +73,6 @@ from repro.pipeline.stats import SimStats
 from repro.power.model import ClockGatingStyle, PowerModel
 from repro.power.units import UnitPowerTable
 from repro.program.cfg import Program
-from repro.program.walker import TruePathOracle, WrongPathNavigator
 
 # Address-space separation between hardware threads: programs are generated
 # over the same synthetic address ranges, so each thread's code and data are
@@ -139,7 +139,26 @@ class ThreadContext:
     The ``ctrl_*`` flags cache which :class:`SpeculationController` hooks
     the thread's controller actually overrides, so the stage hot loops
     skip the no-op base-class calls of the unthrottled baseline entirely.
+
+    Slotted: the fetch cursors and measured counters are touched every
+    cycle by the stage kernel.
     """
+
+    __slots__ = (
+        "thread_id", "program", "controller", "seed", "mem_offset",
+        "bpred", "confidence", "btb", "ras", "supply",
+        "ctrl_gates_fetch", "ctrl_blocks_decode", "ctrl_blocks_selection",
+        "ctrl_has_fetch_hook", "ctrl_has_resolve_hook",
+        "ctrl_has_squash_hook", "ctrl_blocks_wp_fetch",
+        "fetch_mode", "true_index", "wp_cursor", "wp_packet", "wp_pos",
+        "wp_salt", "fetch_stall_until", "unresolved_mispredicts",
+        "fetch_buffer", "fetch_latch", "decode_latch", "fetch_entries",
+        "decode_entries", "renamer", "rob", "rob_entries", "iq", "lsq",
+        "last_committed_true_index", "commits_since_prune",
+        "lowconf_inflight", "committed", "fetched", "fetched_wrong_path",
+        "squashed", "cond_branches_committed", "mispredictions_committed",
+        "fetch_cycles", "policy_gated_cycles",
+    )
 
     def __init__(
         self,
@@ -152,6 +171,7 @@ class ThreadContext:
         iq_size: int,
         lsq_size: int,
         fetch_buffer: int,
+        supply: Optional[InstructionSupply] = None,
     ) -> None:
         self.thread_id = thread_id
         self.program = program
@@ -163,8 +183,10 @@ class ThreadContext:
         self.confidence = build_estimator(config)
         self.btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
         self.ras = ReturnAddressStack(config.ras_depth)
-        self.oracle = TruePathOracle(program, seed)
-        self.navigator = WrongPathNavigator(program, seed)
+        # The front-end instruction source: pre-lowered block packets by
+        # default; a pre-built LiveSupply or TraceSupply may be injected
+        # (trace replay, supply-parity profiling).
+        self.supply = supply if supply is not None else CompiledSupply(program, seed)
 
         # Controller capability flags (see class docstring).
         ctrl_type = type(controller)
@@ -187,22 +209,33 @@ class ThreadContext:
         # Constant per controller instance (oracle-fetch mode).
         self.ctrl_blocks_wp_fetch = controller.blocks_wrong_path_fetch
 
-        # Fetch state.
+        # Fetch state.  On the wrong path the thread consumes one supply
+        # packet at a time: ``wp_packet``/``wp_pos`` hold the in-progress
+        # packet (``wp_cursor`` is the continuation once it drains).
+        # Whoever re-points ``wp_cursor`` outside the fetch loop (branch
+        # recovery) must clear ``wp_packet``.
         self.fetch_mode = "true"
         self.true_index = 0
         self.wp_cursor = None
+        self.wp_packet = None
+        self.wp_pos = 0
         self.wp_salt = 0
         self.fetch_stall_until = 0
         self.unresolved_mispredicts = 0
         self.fetch_buffer = fetch_buffer
 
         # In-order front-end latches (fetch->decode, decode->rename).
+        # The backing deques are mutated in place and never rebound, so
+        # the stage hot loops alias them directly.
         self.fetch_latch = PipeLatch()
         self.decode_latch = PipeLatch()
+        self.fetch_entries = self.fetch_latch.entries
+        self.decode_entries = self.decode_latch.entries
 
         # Back-end partition.
         self.renamer = RegisterRenamer()
         self.rob = ReorderBuffer(rob_size)
+        self.rob_entries = self.rob.entries  # stable deque, aliased hot
         self.iq = IssueQueue(iq_size)
         self.lsq = LoadStoreQueue(lsq_size)
 
@@ -264,6 +297,7 @@ class Processor:
         power_table: Optional[UnitPowerTable] = None,
         clock_gating: ClockGatingStyle = ClockGatingStyle.CC3,
         seed: int = 1,
+        supply: Optional[InstructionSupply] = None,
     ) -> None:
         self._init_shared(config, power_table, clock_gating)
         self.seed = seed
@@ -278,6 +312,7 @@ class Processor:
                 iq_size=config.iq_size,
                 lsq_size=config.lsq_size,
                 fetch_buffer=config.effective_fetch_buffer,
+                supply=supply,
             )
         ]
         self._finish_threads()
@@ -374,12 +409,14 @@ class Processor:
         return self.threads[0].ras
 
     @property
-    def oracle(self) -> TruePathOracle:
-        return self.threads[0].oracle
+    def supply(self) -> InstructionSupply:
+        """Thread 0's instruction supply (true path + wrong-path packets).
 
-    @property
-    def navigator(self) -> WrongPathNavigator:
-        return self.threads[0].navigator
+        Exposes the seed oracle's true-path surface (``get`` /
+        ``prune_before``), so trace recorders and calibration code that
+        used to take the oracle run on it unchanged.
+        """
+        return self.threads[0].supply
 
     @property
     def renamer(self) -> RegisterRenamer:

@@ -21,6 +21,8 @@ ARCH_READY_TAG = -1
 class RegisterRenamer:
     """Arch-reg -> producing-tag map with checkpoint/restore."""
 
+    __slots__ = ("_map", "pending_tags")
+
     def __init__(self) -> None:
         self._map: List[int] = [ARCH_READY_TAG] * NUM_ARCH_REGS
         # Tags whose producer has not completed yet.

@@ -37,6 +37,11 @@ from repro.pipeline.config import ProcessorConfig
 class FunctionalUnitPool:
     """Per-cycle issue slots by operation class, plus the MSHR ledger."""
 
+    __slots__ = (
+        "_capacity", "_code_capacity", "_code_available",
+        "_mem_capacity", "_mem_available", "_mshr_count", "_mshr_release",
+    )
+
     def __init__(self, config: ProcessorConfig) -> None:
         self._capacity: Dict[OpClass, int] = {
             OpClass.INT_ALU: config.int_alu,
@@ -62,8 +67,12 @@ class FunctionalUnitPool:
         self._mshr_release: List[int] = []  # fill-completion cycles (heap)
 
     def new_cycle(self, cycle: int = 0) -> None:
-        """Refresh all slots at the start of a cycle; retire finished fills."""
-        self._code_available = list(self._code_capacity)
+        """Refresh all slots at the start of a cycle; retire finished fills.
+
+        The availability list is refreshed *in place*, so hot-loop
+        aliases of ``_code_available`` stay valid across cycles.
+        """
+        self._code_available[:] = self._code_capacity
         self._mem_available = self._mem_capacity
         release = self._mshr_release
         if release:

@@ -12,6 +12,8 @@ from repro.isa.instruction import DynamicInstruction
 class ReorderBuffer:
     """In-order window of every renamed, uncommitted instruction."""
 
+    __slots__ = ("size", "entries")
+
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise SimulationError("ROB size must be positive")

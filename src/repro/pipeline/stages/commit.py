@@ -28,8 +28,20 @@ _REGFILE = int(PowerUnit.REGFILE)
 _DCACHE = int(PowerUnit.DCACHE)
 _DCACHE2 = int(PowerUnit.DCACHE2)
 
-# Commit distance between oracle prunes of the consumed true-path stream.
+# Commit distance between supply prunes of the consumed true-path stream.
 _PRUNE_INTERVAL = 8192
+
+# The two tally shapes wrong-path work squashed in the front-end latches
+# almost always carries: one I-cache access (plain instructions), or one
+# I-cache plus one predictor access (conditional branches).  A C-level
+# list comparison routes them past the 11-unit attribution loop.
+_TALLY_ICACHE_ONLY = [
+    1 if unit == int(PowerUnit.ICACHE) else 0 for unit in range(11)
+]
+_TALLY_ICACHE_BPRED = [
+    1 if unit in (int(PowerUnit.ICACHE), _BPRED) else 0 for unit in range(11)
+]
+_ICACHE = int(PowerUnit.ICACHE)
 
 
 class CommitRecoverStage(Stage):
@@ -48,7 +60,7 @@ class CommitRecoverStage(Stage):
         budget = self.width
         if count == 1:
             thread = threads[0]
-            entries = thread.rob.entries
+            entries = thread.rob_entries
             # Skip the call (and all its hoisting) on stall cycles.
             if entries and entries[0].completed:
                 self._commit_thread(thread, cycle, activity, budget)
@@ -60,7 +72,7 @@ class CommitRecoverStage(Stage):
             budget -= self._commit_thread(thread, cycle, activity, budget)
 
     def _commit_thread(self, thread, cycle: int, activity, budget: int) -> int:
-        entries = thread.rob.entries
+        entries = thread.rob_entries
         # Nothing committable: skip all hoisting (most stall cycles).
         if not entries or not entries[0].completed:
             return 0
@@ -87,7 +99,8 @@ class CommitRecoverStage(Stage):
             if not head.completed:
                 break
             entries.popleft()
-            head.commit_cycle = cycle
+            if observer is not None:
+                head.commit_cycle = cycle
             tally = head.unit_accesses
             if head.phys_dest >= 0:
                 regfile_writes += 1
@@ -117,8 +130,9 @@ class CommitRecoverStage(Stage):
             if observer is not None:
                 observer.on_commit(head, cycle)
             committed += 1
-            if head.true_index >= 0:
-                thread.last_committed_true_index = head.true_index
+            # Only true-path instructions commit, and every one carries
+            # its stream index.
+            thread.last_committed_true_index = head.true_index
         if residency:
             power.committed_instr_cycles += residency
         if committed:
@@ -136,7 +150,7 @@ class CommitRecoverStage(Stage):
             thread.committed += committed
             thread.commits_since_prune += committed
             if thread.commits_since_prune >= _PRUNE_INTERVAL:
-                thread.oracle.prune_before(thread.last_committed_true_index)
+                thread.supply.prune_before(thread.last_committed_true_index)
                 thread.commits_since_prune = 0
         return committed
 
@@ -192,7 +206,8 @@ class CommitRecoverStage(Stage):
         thread.bpred.restore(branch.bpred_snapshot, branch.actual_taken)
         thread.ras.restore(branch.ras_checkpoint)
 
-        # Redirect fetch down the branch's actual path.
+        # Redirect fetch down the branch's actual path.  Re-pointing the
+        # wrong-path cursor invalidates any in-progress supply packet.
         if branch.resume_mode == "true":
             thread.fetch_mode = "true"
             thread.true_index = branch.resume_true_index
@@ -200,6 +215,7 @@ class CommitRecoverStage(Stage):
         else:
             thread.fetch_mode = "wrong"
             thread.wp_cursor = branch.resume_wp_cursor
+        thread.wp_packet = None
         thread.fetch_stall_until = cycle + self.redirect_penalty
         thread.unresolved_mispredicts -= 1
         if thread.unresolved_mispredicts < 0:
@@ -231,45 +247,86 @@ class CommitRecoverStage(Stage):
         squash_hook = thread.ctrl_has_squash_hook
         freed_iq = 0
         freed_lsq = 0
-        for instr in instrs:
-            instr.squashed = True
-            count += 1
-            if attribute:
-                power.credit_squashed(instr, cycle)
-            else:
-                tally = instr.unit_accesses
-                if tally is not None:
-                    for unit, accesses in enumerate(tally):
-                        if accesses:
-                            wasted[unit] += accesses * energy_per_access[unit]
-                            squashed_accesses[unit] += accesses
-                fetch_cycle = instr.fetch_cycle
-                if fetch_cycle >= 0 and cycle > fetch_cycle:
-                    wasted_cycles += cycle - fetch_cycle
-            if observer is not None:
-                observer.on_squash(instr, cycle)
-            static = instr.static
-            if static.is_cond_branch:
-                if instr.lowconf:
-                    instr.lowconf = False
-                    thread.lowconf_inflight -= 1
-                if squash_hook:
-                    thread.controller.on_branch_squashed(instr)
-                # A mispredicted branch that already resolved was
-                # discounted at resolution; only still-outstanding ones
-                # are discounted here.
-                if instr.mispredicted and not instr.completed:
-                    thread.unresolved_mispredicts -= 1
-            if not in_backend:
-                continue
-            tag = instr.phys_dest
-            if tag >= 0:
-                pending_tags.discard(tag)  # RegisterRenamer.forget
-                waiters.pop(tag, None)  # IssueQueue.forget_tag
-            if not instr.issued:
-                freed_iq += 1
-            if static.is_mem:
-                freed_lsq += 1
+        # Two loop variants keyed on the (per-call constant) residency:
+        # front-end latch squashes — the bulk of every recovery — skip
+        # the back-end bookkeeping branchlessly and route their two
+        # dominant tally shapes (one I-cache access; I-cache + predictor
+        # for conditional branches) past the 11-unit attribution loop
+        # (``accesses * energy`` with ``accesses == 1`` is exactly
+        # ``energy``, so the shortcut accumulates bit-identical floats).
+        if not in_backend:
+            for instr in instrs:
+                instr.squashed = True
+                count += 1
+                if attribute:
+                    power.credit_squashed(instr, cycle)
+                else:
+                    tally = instr.unit_accesses
+                    if tally is not None:
+                        if tally == _TALLY_ICACHE_ONLY:
+                            wasted[_ICACHE] += energy_per_access[_ICACHE]
+                            squashed_accesses[_ICACHE] += 1
+                        elif tally == _TALLY_ICACHE_BPRED:
+                            wasted[_ICACHE] += energy_per_access[_ICACHE]
+                            squashed_accesses[_ICACHE] += 1
+                            wasted[_BPRED] += energy_per_access[_BPRED]
+                            squashed_accesses[_BPRED] += 1
+                        else:
+                            for unit, accesses in enumerate(tally):
+                                if accesses:
+                                    wasted[unit] += accesses * energy_per_access[unit]
+                                    squashed_accesses[unit] += accesses
+                    fetch_cycle = instr.fetch_cycle
+                    if cycle > fetch_cycle >= 0:
+                        wasted_cycles += cycle - fetch_cycle
+                if observer is not None:
+                    observer.on_squash(instr, cycle)
+                if instr.static.is_cond_branch:
+                    if instr.lowconf:
+                        instr.lowconf = False
+                        thread.lowconf_inflight -= 1
+                    if squash_hook:
+                        thread.controller.on_branch_squashed(instr)
+                    # A mispredicted branch that already resolved was
+                    # discounted at resolution; only still-outstanding
+                    # ones are discounted here.
+                    if instr.mispredicted and not instr.completed:
+                        thread.unresolved_mispredicts -= 1
+        else:
+            for instr in instrs:
+                instr.squashed = True
+                count += 1
+                if attribute:
+                    power.credit_squashed(instr, cycle)
+                else:
+                    tally = instr.unit_accesses
+                    if tally is not None:
+                        for unit, accesses in enumerate(tally):
+                            if accesses:
+                                wasted[unit] += accesses * energy_per_access[unit]
+                                squashed_accesses[unit] += accesses
+                    fetch_cycle = instr.fetch_cycle
+                    if cycle > fetch_cycle >= 0:
+                        wasted_cycles += cycle - fetch_cycle
+                if observer is not None:
+                    observer.on_squash(instr, cycle)
+                static = instr.static
+                if static.is_cond_branch:
+                    if instr.lowconf:
+                        instr.lowconf = False
+                        thread.lowconf_inflight -= 1
+                    if squash_hook:
+                        thread.controller.on_branch_squashed(instr)
+                    if instr.mispredicted and not instr.completed:
+                        thread.unresolved_mispredicts -= 1
+                tag = instr.phys_dest
+                if tag >= 0:
+                    pending_tags.discard(tag)  # RegisterRenamer.forget
+                    waiters.pop(tag, None)  # IssueQueue.forget_tag
+                if not instr.issued:
+                    freed_iq += 1
+                if static.is_mem:
+                    freed_lsq += 1
         kernel.stats.squashed += count
         thread.squashed += count
         if wasted_cycles:

@@ -37,16 +37,20 @@ class DecodeRenameStage(Stage):
         super().__init__(kernel)
         self.width = kernel.config.decode_width
         self.decode_to_rename_latency = kernel.config.decode_to_rename_latency
+        # Cycle of the last counted decode throttle (one count per cycle
+        # however many threads stall).
+        self._throttled_cycle = -1
 
     def tick(self, cycle: int, activity) -> None:
         threads = self.kernel.threads
         count = len(threads)
         if count == 1:
+            # Skip the stage calls outright on latch-empty cycles.
             thread = threads[0]
-            self._rename_thread(thread, cycle, activity, self.width)
-            moved, throttled = self._decode_thread(thread, cycle, self.width)
-            if throttled:
-                self.kernel.stats.decode_throttled_cycles += 1
+            if thread.decode_entries:
+                self._rename_thread(thread, cycle, activity, self.width)
+            if thread.fetch_entries:
+                self._decode_thread(thread, cycle, self.width)
             return
         budget = self.width
         for offset in range(count):
@@ -55,16 +59,11 @@ class DecodeRenameStage(Stage):
             thread = threads[(cycle + offset) % count]
             budget -= self._rename_thread(thread, cycle, activity, budget)
         budget = self.width
-        throttled = False
         for offset in range(count):
             if budget <= 0:
                 break
             thread = threads[(cycle + offset) % count]
-            moved, thread_throttled = self._decode_thread(thread, cycle, budget)
-            budget -= moved
-            throttled = throttled or thread_throttled
-        if throttled:
-            self.kernel.stats.decode_throttled_cycles += 1
+            budget -= self._decode_thread(thread, cycle, budget)
 
     # ------------------------------------------------------------------
     # Rename / dispatch
@@ -72,20 +71,27 @@ class DecodeRenameStage(Stage):
 
     def _rename_thread(self, thread, cycle: int, activity, budget: int) -> int:
         kernel = self.kernel
-        pipe = thread.decode_latch.entries
+        pipe = thread.decode_entries
         if not pipe:
             return 0
         rob = thread.rob
         rob_entries = rob.entries
-        rob_size = rob.size
         iq = thread.iq
         iq_start = iq.count
-        iq_size = iq.size
         iq_ready = iq.ready_list
         iq_waiters = iq.waiters
         lsq = thread.lsq
         lsq_start = lsq.occupied
         lsq_size = lsq.size
+        # One fused structural limit: the while-condition folds the ROB,
+        # IQ and width bounds (each renamed instruction consumes exactly
+        # one entry of each); only the LSQ check stays per-instruction.
+        limit = rob.size - len(rob_entries)
+        iq_space = iq.size - iq_start
+        if iq_space < limit:
+            limit = iq_space
+        if budget < limit:
+            limit = budget
         renamer = thread.renamer
         # Stable for the whole tick: ``restore`` (which rebinds the map)
         # only runs during writeback recovery, never mid-rename.
@@ -96,10 +102,11 @@ class DecodeRenameStage(Stage):
         popleft = pipe.popleft
         append_rob = rob_entries.append
         append_ready = iq_ready.append
+        stamp = kernel.observer is not None
         renamed = 0
         mem_renamed = 0
         regfile_reads = 0
-        while renamed < budget and pipe:
+        while renamed < limit and pipe:
             instr = pipe[0]
             if instr.latch_ready > cycle:
                 break
@@ -108,11 +115,7 @@ class DecodeRenameStage(Stage):
                 continue
             static = instr.static
             is_mem = static.is_mem
-            if (
-                len(rob_entries) >= rob_size
-                or iq_start + renamed >= iq_size
-                or (is_mem and lsq_start + mem_renamed >= lsq_size)
-            ):
+            if is_mem and lsq_start + mem_renamed >= lsq_size:
                 break
             if has_shared_caps:
                 # The kernel counters are batch-updated after the loop, so
@@ -124,7 +127,14 @@ class DecodeRenameStage(Stage):
                 ):
                     break
             popleft()
-            instr.rename_cycle = cycle
+            if stamp:
+                instr.rename_cycle = cycle
+            # Back-end slots (issue/completion state, physical dest) are
+            # first read after dispatch, so they are stamped here rather
+            # than on every fetched instruction (wrong-path work squashed
+            # in the front-end latches never pays for them).
+            instr.issued = False
+            instr.completed = False
 
             # Rename (RegisterRenamer.rename, inlined): map sources to
             # producing tags, collect the still-pending ones as the wakeup
@@ -147,6 +157,8 @@ class DecodeRenameStage(Stage):
                 rmap[dest] = tag
                 instr.phys_dest = tag
                 pending_tags.add(tag)
+            else:
+                instr.phys_dest = -1
 
             tally = instr.unit_accesses
             tally[_RENAME] += 1
@@ -196,17 +208,18 @@ class DecodeRenameStage(Stage):
     # Decode
     # ------------------------------------------------------------------
 
-    def _decode_thread(self, thread, cycle: int, budget: int):
-        pipe = thread.fetch_latch.entries
+    def _decode_thread(self, thread, cycle: int, budget: int) -> int:
+        pipe = thread.fetch_entries
         if not pipe:
-            return 0, False
-        out_append = thread.decode_latch.entries.append
+            return 0
+        kernel = self.kernel
+        out_append = thread.decode_entries.append
         popleft = pipe.popleft
         ready_cycle = cycle + self.decode_to_rename_latency
         gated = thread.ctrl_blocks_decode
         controller = thread.controller
+        stamp = kernel.observer is not None
         moved = 0
-        throttled = False
         while moved < budget and pipe:
             instr = pipe[0]
             if instr.latch_ready > cycle:
@@ -215,13 +228,17 @@ class DecodeRenameStage(Stage):
                 popleft()
                 continue
             if gated and controller.blocks_decode(cycle, instr):
-                throttled = True
+                # Count a throttled cycle once, whichever thread stalls.
+                if self._throttled_cycle != cycle:
+                    self._throttled_cycle = cycle
+                    kernel.stats.decode_throttled_cycles += 1
                 break
             popleft()
-            instr.decode_cycle = cycle
+            if stamp:
+                instr.decode_cycle = cycle
             instr.latch_ready = ready_cycle
             out_append(instr)
             moved += 1
         if moved:
-            self.kernel.stats.decoded += moved
-        return moved, throttled
+            kernel.stats.decoded += moved
+        return moved

@@ -49,13 +49,15 @@ class ExecuteWritebackStage(Stage):
             pending_tags = thread.renamer.pending_tags
             iq = thread.iq
             waiters = iq.waiters
+            stamp = self.kernel.observer is not None
             broadcasts = 0
             wakeups = 0
             for instr in events:
                 if instr.squashed:
                     continue
                 instr.completed = True
-                instr.complete_cycle = cycle
+                if stamp:
+                    instr.complete_cycle = cycle
                 tag = instr.phys_dest
                 if tag >= 0:
                     pending_tags.discard(tag)  # mark_completed
@@ -71,6 +73,7 @@ class ExecuteWritebackStage(Stage):
                             waiter.ready_sources -= 1
                             if waiter.ready_sources == 0:
                                 ready.append(waiter)
+                                iq.ready_sorted = False
                             woken += 1
                         iq.wakeup_broadcasts += 1
                         if woken:
@@ -89,12 +92,14 @@ class ExecuteWritebackStage(Stage):
                 if wakeups:
                     activity[_WINDOW] += wakeups
             return
+        stamp = self.kernel.observer is not None
         for instr in events:
             if instr.squashed:
                 continue
             thread = threads[instr.thread_id]
             instr.completed = True
-            instr.complete_cycle = cycle
+            if stamp:
+                instr.complete_cycle = cycle
             tag = instr.phys_dest
             if tag >= 0:
                 # RegisterRenamer.mark_completed, inlined.

@@ -1,14 +1,25 @@
 """Fetch: walk the predicted path and fill the fetch latch.
 
-The front-end fetches along its *predictions*: the true-path oracle serves
-instructions while predictions are correct, and a misprediction diverges
-fetch onto a wrong-path walk of the same CFG (real wrong-path code that
-fetches, decodes and executes until the branch resolves).  Per fetched
-line the I-cache is probed once; a miss stalls the thread's fetch until
-the fill returns.  Conditional branches consult predictor, BTB, RAS and
-the confidence estimator, arm the speculation controller's throttling
-hooks, and record the cursor fetch must resume from if they turn out
+The front-end fetches along its *predictions*: the thread's
+:class:`~repro.frontend.supply.InstructionSupply` serves true-path records
+while predictions are correct, and a misprediction diverges fetch onto a
+wrong-path packet walk of the same CFG (real wrong-path code that fetches,
+decodes and executes until the branch resolves).  Per fetched line the
+I-cache is probed once; a miss stalls the thread's fetch until the fill
+returns.  Conditional branches consult predictor, BTB, RAS and the
+confidence estimator, arm the speculation controller's throttling hooks,
+and record the cursor fetch must resume from if they turn out
 mispredicted.
+
+**Packet consumption.**  True-path records are indexed straight out of
+the supply's ring.  Wrong-path records come in per-block packets: the
+supply stamps one block at a time (``wrong_packet``), the thread keeps a
+packet cursor (``wp_packet``/``wp_pos``), and only a packet's *last*
+record can be a control instruction — so the inner loop pays one Python
+call per wrong-path *block* instead of one per instruction.  Branch
+recovery still works on the seed walker's ``(block, index, stack, step)``
+cursors; anything that re-points ``thread.wp_cursor`` outside this loop
+clears the packet.
 
 On an SMT core the single fetch port is arbitrated by the kernel's fetch
 policy; the single-thread machine skips the policy entirely.
@@ -29,6 +40,9 @@ _DCACHE2 = int(PowerUnit.DCACHE2)
 _CALL = Opcode.CALL
 _RET = Opcode.RET
 
+_NEW_INSTR = DynamicInstruction.__new__
+_DYN = DynamicInstruction
+
 
 class FetchStage(Stage):
     """Front-end instruction supply along the predicted path."""
@@ -42,6 +56,13 @@ class FetchStage(Stage):
         self.max_taken_branches = config.max_taken_branches_per_cycle
         self.fetch_to_decode_latency = config.fetch_to_decode_latency
         self.line_shift = config.line_bytes.bit_length() - 1
+        # Stable aliases of the I-cache internals for the inlined MRU
+        # probe (the set array and stats objects are mutated in place,
+        # never rebound).
+        icache = kernel.memory.icache
+        self._icache_sets = icache._sets
+        self._icache_stats = icache.stats
+        self._icache_set_mask = icache._set_mask
 
     def tick(self, cycle: int, activity) -> None:
         kernel = self.kernel
@@ -69,9 +90,9 @@ class FetchStage(Stage):
         if thread.ctrl_blocks_wp_fetch and thread.fetch_mode == "wrong":
             # Oracle fetch: wait at the misprediction until resolution.
             return
-        fetch_entries = thread.fetch_latch.entries
+        fetch_entries = thread.fetch_entries
         capacity = (
-            thread.fetch_buffer - len(fetch_entries) - len(thread.decode_latch.entries)
+            thread.fetch_buffer - len(fetch_entries) - len(thread.decode_entries)
         )
         if capacity <= 0:
             return
@@ -81,20 +102,26 @@ class FetchStage(Stage):
             width = capacity
         max_taken = self.max_taken_branches
         decode_latency = self.fetch_to_decode_latency
-        oracle = thread.oracle
-        navigator = thread.navigator
+        supply = thread.supply
         memory = kernel.memory
         line_shift = self.line_shift
+        # Inlined I-cache MRU probe (same line granularity: both shifts
+        # derive from config.line_bytes).  The hit-at-MRU case — the
+        # overwhelmingly common one — accounts the access and skips two
+        # call frames; anything else takes the full hierarchy walk.
+        icache_sets = self._icache_sets
+        icache_stats = self._icache_stats
+        icache_set_mask = self._icache_set_mask
         mem_offset = thread.mem_offset
         thread_id = thread.thread_id
         thread.fetch_cycles += 1
         seq = kernel.seq
-        # True-path fast path: the oracle's ring is stable for the whole
+        # True-path fast path: the supply's ring is stable for the whole
         # tick (pruning happens at commit, generation appends in place), so
         # already-materialised records are indexed directly.
-        oracle_records = oracle._records
-        oracle_base = oracle._base
-        num_records = len(oracle_records)
+        true_records = supply._records
+        true_base = supply._base
+        num_records = len(true_records)
         append_instr = fetch_entries.append
 
         fetched = 0
@@ -104,39 +131,73 @@ class FetchStage(Stage):
         current_line = -1
         ready_cycle = cycle + decode_latency
         # Only control instructions can change the path mode or jump the
-        # cursors, so mode and cursors are tracked in locals and synced
-        # with the thread around each branch (and at every loop exit).
+        # cursors, so mode and packet state are tracked in locals and
+        # synced with the thread around each branch (and at every loop
+        # exit).  ``wp_cursor`` is always the continuation *after* the
+        # in-progress packet drains.
         on_true = thread.fetch_mode == "true"
         true_index = thread.true_index
         wp_cursor = thread.wp_cursor
+        wp_packet = thread.wp_packet
+        if wp_packet is not None:
+            wp_pos = thread.wp_pos
+            wp_len = len(wp_packet)
+        else:
+            wp_pos = 0
+            wp_len = 0
         while fetched < width:
             if on_true:
-                index = true_index - oracle_base
+                index = true_index - true_base
                 if index < num_records:
-                    record = oracle_records[index]
+                    record = true_records[index]
                 else:
-                    record = oracle.get(true_index)
-                    num_records = len(oracle_records)
+                    record = supply.get(true_index)
+                    num_records = len(true_records)
                 static, actual_taken, actual_target, mem_address = record
                 next_cursor = None
             else:
-                (static, actual_taken, actual_target,
-                 next_cursor, mem_address) = navigator.fetch_one(wp_cursor)
+                if wp_pos == wp_len:
+                    wp_packet, wp_cursor = supply.wrong_packet(wp_cursor)
+                    wp_pos = 0
+                    wp_len = len(wp_packet)
+                # Peek: the packet position only advances once the I-cache
+                # admits the instruction (a stalled instruction must be
+                # re-fetched when the fill returns).
+                static, actual_taken, actual_target, mem_address = wp_packet[wp_pos]
+                # Only a packet's last record can be a control instruction;
+                # its continuation cursor is the branch's resume point.
+                next_cursor = wp_cursor
 
             address = static.address + mem_offset
             line = address >> line_shift
             if line != current_line:
-                latency, l1_hit = memory.fetch_line(address)
-                if not l1_hit:
-                    activity[_ICACHE] += 1
-                    activity[_DCACHE2] += 1
-                    thread.fetch_stall_until = cycle + latency - 1
-                    stats.icache_stall_cycles += 1
-                    break
+                tag_set = icache_sets[line & icache_set_mask]
+                if tag_set and tag_set[0] == line:
+                    icache_stats.accesses += 1
+                else:
+                    latency, l1_hit = memory.fetch_line(address)
+                    if not l1_hit:
+                        activity[_ICACHE] += 1
+                        activity[_DCACHE2] += 1
+                        thread.fetch_stall_until = cycle + latency - 1
+                        stats.icache_stall_cycles += 1
+                        break
                 current_line = line
 
             on_wrong = not on_true
-            instr = DynamicInstruction(seq, static, thread_id, cycle, on_wrong)
+            if on_wrong:
+                wp_pos += 1
+            # DynamicInstruction creation, inlined (the hottest allocation
+            # in the simulator): only the slots some later stage reads
+            # before writing are initialised — see the lazily-populated
+            # slot contract in repro/isa/instruction.py.
+            instr = _NEW_INSTR(_DYN)
+            instr.seq = seq
+            instr.static = static
+            instr.thread_id = thread_id
+            instr.fetch_cycle = cycle
+            instr.on_wrong_path = on_wrong
+            instr.squashed = False
             seq += 1
             instr.unit_accesses = tally = [0] * 11
             if mem_address:
@@ -145,7 +206,9 @@ class FetchStage(Stage):
                 instr.true_index = true_index
             tally[_ICACHE] = 1  # the tally is freshly zeroed
 
-            stop_after = False
+            instr.latch_ready = ready_cycle
+            append_instr(instr)
+            fetched += 1
             if static.is_branch:
                 branches += 1
                 thread.true_index = true_index
@@ -156,24 +219,31 @@ class FetchStage(Stage):
                 )
                 if instr.predicted_taken:
                     taken_branches += 1
+                if on_wrong:
+                    wrong_path += 1
                 on_true = thread.fetch_mode == "true"
                 true_index = thread.true_index
                 wp_cursor = thread.wp_cursor
+                # A branch always ends its packet; any redirect re-pointed
+                # ``thread.wp_cursor``, so the next packet stamps fresh.
+                wp_packet = None
+                wp_pos = 0
+                wp_len = 0
+                # Only a control instruction can stop the fetch group.
+                if stop_after or taken_branches >= max_taken:
+                    break
             elif on_true:
                 true_index += 1
             else:
-                wp_cursor = next_cursor
-
-            instr.latch_ready = ready_cycle
-            append_instr(instr)
-            fetched += 1
-            if on_wrong:
                 wrong_path += 1
-            if stop_after or taken_branches >= max_taken:
-                break
 
         thread.true_index = true_index
         thread.wp_cursor = wp_cursor
+        if wp_packet is not None and wp_pos < wp_len:
+            thread.wp_packet = wp_packet
+            thread.wp_pos = wp_pos
+        else:
+            thread.wp_packet = None
         kernel.seq = seq
         if fetched:
             activity[_ICACHE] += fetched
@@ -203,10 +273,18 @@ class FetchStage(Stage):
         instr.actual_target = actual_target
         instr.unit_accesses[_BPRED] += 1
         stop_after = False
+        pc = instr.pc = instr.static.address
 
         if instr.static.is_cond_branch:
+            instr.lowconf = False
+            instr.confidence = None
+            instr.throttle_token = None
+            # Squash recovery reads ``completed`` on latch-resident
+            # conditional branches; every other instruction gets its
+            # back-end slots at rename/dispatch.
+            instr.completed = False
             stats.cond_branches_fetched += 1
-            prediction = thread.bpred.predict(instr.pc)
+            prediction = thread.bpred.predict(pc)
             instr.predicted_taken = prediction.taken
             instr.bpred_snapshot = prediction.snapshot
             instr.mispredicted = prediction.taken != actual_taken
@@ -215,7 +293,7 @@ class FetchStage(Stage):
             if confidence is not None:
                 confidence.set_actual(actual_taken)
                 level = confidence.estimate(
-                    instr.pc, prediction, thread.bpred,
+                    pc, prediction, thread.bpred,
                     update_state=not instr.on_wrong_path,
                 )
                 instr.confidence = level
@@ -224,7 +302,7 @@ class FetchStage(Stage):
                     thread.lowconf_inflight += 1
                 if thread.ctrl_has_fetch_hook:
                     thread.controller.on_branch_fetched(instr, level)
-            if prediction.taken and thread.btb.lookup(instr.pc) is None:
+            if prediction.taken and thread.btb.lookup(pc) is None:
                 # Taken prediction without a cached target: one-cycle bubble.
                 stop_after = True
             self._advance_after_cond(thread, instr, on_true, next_cursor)
@@ -238,10 +316,10 @@ class FetchStage(Stage):
             instr.predicted_taken = True
             instr.ras_checkpoint = thread.ras.checkpoint()
             if opcode is _CALL:
-                thread.ras.push(instr.pc + 4)
+                thread.ras.push(pc + 4)
             elif opcode is _RET:
                 thread.ras.pop()
-            thread.btb.update(instr.pc, 0 if actual_target < 0
+            thread.btb.update(pc, 0 if actual_target < 0
                               else thread.program.block(actual_target).address)
             if on_true:
                 thread.true_index += 1
@@ -271,7 +349,7 @@ class FetchStage(Stage):
                 # Diverge onto the wrong path at the predicted target.
                 thread.wp_salt += 1
                 thread.fetch_mode = "wrong"
-                thread.wp_cursor = thread.navigator.start_cursor(
+                thread.wp_cursor = thread.supply.start_cursor(
                     predicted_target, thread.wp_salt * 8191 + instr.seq
                 )
                 thread.true_index = resume_index

@@ -37,7 +37,10 @@ class CycleScheduler:
         self.issue = SelectIssueStage(kernel)
         self.decode_rename = DecodeRenameStage(kernel)
         self.fetch = FetchStage(kernel)
-        # Reverse pipeline order, the order ``step`` runs them in.
+        # Reverse pipeline order, the order ``step`` runs them in.  The
+        # stage objects stay plain attributes and ``step`` dispatches
+        # through them each cycle, so tests and scenarios may wrap or
+        # replace a single stage (or its ``tick``) at any time.
         self.stages = (
             self.commit,
             self.writeback,

@@ -34,12 +34,21 @@ class SelectIssueStage(Stage):
         super().__init__(kernel)
         self.width = kernel.config.issue_width
         self.extra_exec_latency = kernel.config.extra_exec_latency
-        # Stable shared structures (never rebound on the kernel).
+        # Stable shared structures (never rebound on the kernel; the FU
+        # pool refreshes its availability list in place).
         self.memory = kernel.memory
         self.buckets = kernel.completions.buckets
+        self.try_claim_code = kernel.fu_pool.try_claim_code
+        self.code_available = kernel.fu_pool._code_available
 
     def tick(self, cycle: int, activity) -> None:
         kernel = self.kernel
+        if kernel.iq_count == 0:
+            # No dispatched instruction anywhere, so nothing can be ready
+            # and no slot can be claimed.  The FU-pool refresh is deferred
+            # (``new_cycle`` is only observable through claims, and the
+            # MSHR ledger trims lazily against the then-current cycle).
+            return
         fu_pool = kernel.fu_pool
         fu_pool.new_cycle(cycle)
         threads = kernel.threads
@@ -56,9 +65,14 @@ class SelectIssueStage(Stage):
             # IssueQueue.select fused with the issue bookkeeping: walk the
             # ready instructions oldest first, claim slots, and start
             # execution in one pass (identical pick order and side
-            # effects; survivors stay ready for the next cycle).
-            if len(ready) > 1:
-                ready.sort(key=_BY_SEQ)
+            # effects; survivors stay ready for the next cycle).  The sort
+            # only runs after a wakeup readied an older instruction
+            # (``ready_sorted``); dispatch appends and the survivor
+            # rebuild below keep the list in fetch order.
+            if not iq.ready_sorted:
+                if len(ready) > 1:
+                    ready.sort(key=_BY_SEQ)
+                iq.ready_sorted = True
             if thread.ctrl_blocks_selection:
                 controller_blocks = thread.controller.blocks_selection
             else:
@@ -67,9 +81,9 @@ class SelectIssueStage(Stage):
             memory = self.memory
             buckets = self.buckets
             extra_exec = self.extra_exec_latency
-            try_claim_code = fu_pool.try_claim_code
-            # Stable for this cycle: rebound only by new_cycle above.
-            code_available = fu_pool._code_available
+            stamp = kernel.observer is not None
+            try_claim_code = self.try_claim_code
+            code_available = self.code_available
             survivors = []
             survive = survivors.append
             issued = 0
@@ -106,7 +120,8 @@ class SelectIssueStage(Stage):
                     continue
                 instr.issued = True
                 issued += 1
-                instr.issue_cycle = cycle
+                if stamp:
+                    instr.issue_cycle = cycle
                 tally = instr.unit_accesses
                 tally[_WINDOW] += 1
                 tally[_ALU] += 1

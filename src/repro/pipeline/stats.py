@@ -6,7 +6,33 @@ from repro.confidence.metrics import ConfidenceMatrix
 
 
 class SimStats:
-    """Counters accumulated during one measured simulation window."""
+    """Counters accumulated during one measured simulation window.
+
+    Slotted: several counters are incremented every cycle by the stage
+    kernel, and slot stores skip the instance-dict machinery.
+    """
+
+    __slots__ = (
+        "cycles",
+        "fetched",
+        "fetched_wrong_path",
+        "decoded",
+        "renamed",
+        "issued",
+        "issued_wrong_path",
+        "committed",
+        "squashed",
+        "cond_branches_fetched",
+        "cond_branches_committed",
+        "mispredictions_committed",
+        "squashes",
+        "fetch_throttled_cycles",
+        "decode_throttled_cycles",
+        "selection_blocked",
+        "icache_stall_cycles",
+        "redirect_stall_cycles",
+        "confidence",
+    )
 
     def __init__(self) -> None:
         self.cycles = 0

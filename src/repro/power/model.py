@@ -36,6 +36,73 @@ from repro.power.units import NUM_UNITS, PowerUnit, UnitPowerTable, default_unit
 
 _CLOCK = PowerUnit.CLOCK
 
+# Per-unit delta tables cover access counts up to this bound (the pipeline
+# widths keep per-cycle counts far below it); larger counts fall back to
+# the inline expressions, which are arithmetically identical.
+_COUNT_TABLE_SIZE = 64
+
+_ZERO_ACTIVITY = [0] * NUM_UNITS
+
+# (max_watts, ports, cycle_s, style, idle) -> derived constant tables.
+_DERIVED_CACHE: dict = {}
+
+
+def _derive_tables(table, style, idle_fraction):
+    """Precompute every derived constant of a PowerModel configuration.
+
+    The expressions mirror :meth:`PowerModel.end_cycle`'s generic loop
+    exactly, so accumulating a precomputed delta is bit-identical to
+    evaluating the arithmetic inline:
+
+    * per-access dynamic energy (used by the retirement credit paths);
+    * CC3 idle constants — a unit with zero accesses burns exactly
+      ``max_watts * (idle + (1-idle)*0.0) * cycle_s``, which reduces
+      bitwise to ``(max_watts * idle) * cycle_s`` (adding a true 0.0 is
+      exact), so the idle case is a single accumulate;
+    * per-(unit, access-count) usage/energy/dynamic delta tables for the
+      table-driven active-unit accumulation (counts past the table fall
+      back to the inline expressions, which are arithmetically identical);
+    * the non-clock unit order and the idle-cycle (unit, energy) pairs.
+    """
+    cycle_s = table.cycle_seconds
+    active_share = 1.0 - idle_fraction if style is ClockGatingStyle.CC3 else 1.0
+    energy_per_access = [
+        table.max_watts[unit] * cycle_s * active_share / table.ports[unit]
+        for unit in range(NUM_UNITS)
+    ]
+    idle_energy = [
+        (table.max_watts[unit] * idle_fraction) * cycle_s
+        for unit in range(NUM_UNITS)
+    ]
+    active = 1.0 - idle_fraction
+    count_tables = []
+    for unit in range(NUM_UNITS):
+        rows = []
+        for accesses in range(_COUNT_TABLE_SIZE):
+            usage = accesses / table.ports[unit]
+            if usage > 1.0:
+                usage = 1.0
+            power = table.max_watts[unit] * (
+                idle_fraction + (1.0 - idle_fraction) * usage
+            )
+            rows.append(
+                (
+                    usage,
+                    power * cycle_s,
+                    table.max_watts[unit] * active * usage * cycle_s,
+                )
+            )
+        count_tables.append(tuple(rows))
+    nonclock_units = tuple(unit for unit in range(NUM_UNITS) if unit != _CLOCK)
+    idle_pairs = tuple((unit, idle_energy[unit]) for unit in nonclock_units)
+    return (
+        energy_per_access,
+        idle_energy,
+        tuple(count_tables),
+        nonclock_units,
+        idle_pairs,
+    )
+
 
 class ClockGatingStyle(enum.Enum):
     """Wattch conditional-clocking styles."""
@@ -83,23 +150,31 @@ class PowerModel:
         # work on every commit, and single-thread consumers never read it.
         self.attribute_threads = attribute_threads
         self._thread_ledger: Dict[int, List[float]] = {}
-        # Per-access dynamic energy, precomputed per unit.
-        cycle_s = self.table.cycle_seconds
-        active_share = 1.0 - idle_fraction if style is ClockGatingStyle.CC3 else 1.0
-        self._energy_per_access = [
-            self.table.max_watts[unit] * cycle_s * active_share / self.table.ports[unit]
-            for unit in range(NUM_UNITS)
-        ]
-        # CC3 fast path: a unit with zero accesses burns exactly its idle
-        # power — ``max_watts * (idle + (1-idle)*0.0) * cycle_s`` reduces
-        # bitwise to ``(max_watts * idle) * cycle_s`` (adding a true 0.0 is
-        # exact), so that per-cycle constant is precomputed with the same
-        # association and the idle case becomes a single accumulate.
+        # Derived constant tables (per-access energies, idle constants,
+        # per-activity-count delta tables).  Pure functions of the power
+        # table, gating style and idle fraction — memoised across model
+        # instances, because every simulation cell builds two PowerModels
+        # (construction + measurement reset) over the same calibration.
         self._cc3 = style is ClockGatingStyle.CC3
-        self._idle_energy = [
-            (self.table.max_watts[unit] * idle_fraction) * cycle_s
-            for unit in range(NUM_UNITS)
-        ]
+        key = (
+            tuple(self.table.max_watts),
+            tuple(self.table.ports),
+            self.table.cycle_seconds,
+            style,
+            idle_fraction,
+        )
+        derived = _DERIVED_CACHE.get(key)
+        if derived is None:
+            derived = _derive_tables(self.table, style, idle_fraction)
+            if len(_DERIVED_CACHE) < 64:
+                _DERIVED_CACHE[key] = derived
+        (
+            self._energy_per_access,
+            self._idle_energy,
+            self._count_tables,
+            self._nonclock_units,
+            self._idle_pairs,
+        ) = derived
 
     def new_activity(self) -> List[int]:
         """Return a fresh per-unit activity array for one cycle."""
@@ -129,27 +204,49 @@ class PowerModel:
         if self._cc3:
             # The paper's configuration; this is the per-cycle hot loop of
             # the whole simulator.  Idle units (most units, most cycles)
-            # take the single-accumulate shortcut; active units evaluate
-            # exactly the expressions of the generic loop below, so the
-            # accumulated floats are bit-identical either way.
+            # take the single-accumulate shortcut; active units pull their
+            # usage/energy/dynamic deltas from the per-access-count tables
+            # precomputed in the constructor with exactly the generic
+            # loop's expressions, so the accumulated floats are
+            # bit-identical either way.
+            if activity == _ZERO_ACTIVITY:
+                # Fully idle cycle: every unit adds its idle constant.
+                for unit, energy in self._idle_pairs:
+                    unit_energy[unit] += energy
+                usage_sum[_CLOCK] += occupancy
+                power = max_watts[_CLOCK] * (idle + (1.0 - idle) * occupancy)
+                unit_energy[_CLOCK] += power * cycle_s
+                dynamic_energy[_CLOCK] += (
+                    max_watts[_CLOCK] * (1.0 - idle) * occupancy * cycle_s
+                )
+                return
             idle_energy = self._idle_energy
             unit_accesses = self.unit_accesses
-            active = 1.0 - idle
-            for unit, accesses in enumerate(activity):
-                if unit == _CLOCK:
-                    usage = occupancy
-                else:
-                    if accesses == 0:
-                        unit_energy[unit] += idle_energy[unit]
-                        continue
-                    unit_accesses[unit] += accesses
+            count_tables = self._count_tables
+            for unit in self._nonclock_units:
+                accesses = activity[unit]
+                if accesses == 0:
+                    unit_energy[unit] += idle_energy[unit]
+                    continue
+                unit_accesses[unit] += accesses
+                table = count_tables[unit]
+                if accesses < _COUNT_TABLE_SIZE:
+                    usage, energy, dynamic = table[accesses]
+                else:  # beyond the table: identical inline arithmetic
                     usage = accesses / ports[unit]
                     if usage > 1.0:
                         usage = 1.0
+                    energy = max_watts[unit] * (idle + (1.0 - idle) * usage) * cycle_s
+                    dynamic = max_watts[unit] * (1.0 - idle) * usage * cycle_s
                 usage_sum[unit] += usage
-                power = max_watts[unit] * (idle + (1.0 - idle) * usage)
-                unit_energy[unit] += power * cycle_s
-                dynamic_energy[unit] += max_watts[unit] * active * usage * cycle_s
+                unit_energy[unit] += energy
+                dynamic_energy[unit] += dynamic
+            usage_sum[_CLOCK] += occupancy
+            power = max_watts[_CLOCK] * (idle + (1.0 - idle) * occupancy)
+            unit_energy[_CLOCK] += power * cycle_s
+            dynamic_energy[_CLOCK] += (
+                max_watts[_CLOCK] * (1.0 - idle) * occupancy * cycle_s
+            )
             return
 
         unit_accesses = self.unit_accesses

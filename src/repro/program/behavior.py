@@ -15,8 +15,12 @@ rate (Table 2 of the paper):
   history bits plus noise.  gshare learns the correlation, the noise term is
   irreducible; this mimics data-dependent branches.
 
-Behaviours are *stateful* and must only be advanced along the true path
-(the walker owns them).  Wrong-path outcomes come from a stateless hash.
+Behaviours are *stateful* and must only be advanced along the true path —
+exactly once per conditional-terminator visit, in program order.  Both
+true-path walkers (the seed oracle and the compiled supply's
+block-at-a-time generation) uphold that contract, which is what keeps
+their streams bit-identical; wrong-path outcomes come from a stateless
+hash and never touch behaviour state.
 """
 
 from __future__ import annotations

@@ -41,18 +41,20 @@ class InstructionTrace:
 
     def __init__(self, instruction: DynamicInstruction, retire_cycle: int) -> None:
         self.seq = instruction.seq
-        self.pc = instruction.pc
+        self.pc = instruction.static.address
         self.opcode = instruction.opcode
         self.on_wrong_path = instruction.on_wrong_path
         self.squashed = instruction.squashed
-        # Control-flow slots exist only on branch instructions.
+        # Control-flow slots exist only on branch instructions, and stage
+        # timing marks only once the stage stamped them (lazily-populated
+        # slot contract; see repro/isa/instruction.py).
         self.mispredicted = getattr(instruction, "mispredicted", False)
         self.confidence = getattr(instruction, "confidence", None)
         self.fetch_cycle = instruction.fetch_cycle
-        self.decode_cycle = instruction.decode_cycle
-        self.rename_cycle = instruction.rename_cycle
-        self.issue_cycle = instruction.issue_cycle
-        self.complete_cycle = instruction.complete_cycle
+        self.decode_cycle = getattr(instruction, "decode_cycle", -1)
+        self.rename_cycle = getattr(instruction, "rename_cycle", -1)
+        self.issue_cycle = getattr(instruction, "issue_cycle", -1)
+        self.complete_cycle = getattr(instruction, "complete_cycle", -1)
         self.retire_cycle = retire_cycle
 
     @property

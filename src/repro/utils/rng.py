@@ -68,6 +68,12 @@ class XorShiftRNG:
     def __init__(self, seed: int) -> None:
         self._state = derive_seed(seed)
 
+    # The xorshift64* step is inlined into every helper below: generation
+    # and branch-behaviour streams draw tens of millions of values per
+    # campaign, and the extra call frames of helper-over-helper layering
+    # were a measurable slice of program-generation time.  The arithmetic
+    # is identical in every method, so the draw sequences are unchanged.
+
     def next_u64(self) -> int:
         """Return the next raw 64-bit value."""
         state = self._state
@@ -79,24 +85,46 @@ class XorShiftRNG:
 
     def random(self) -> float:
         """Return a float uniformly distributed in [0, 1)."""
-        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        return (((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11) * (1.0 / (1 << 53))
 
     def randint(self, low: int, high: int) -> int:
         """Return an integer uniformly distributed in [low, high] inclusive."""
         if low > high:
             raise ValueError(f"empty range [{low}, {high}]")
-        span = high - low + 1
-        return low + self.next_u64() % span
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        return low + ((state * 0x2545F4914F6CDD1D) & _MASK64) % (high - low + 1)
 
     def choice(self, items):
         """Return a uniformly chosen element of a non-empty sequence."""
         if not items:
             raise ValueError("cannot choose from an empty sequence")
-        return items[self.randint(0, len(items) - 1)]
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        return items[((state * 0x2545F4914F6CDD1D) & _MASK64) % len(items)]
 
     def chance(self, probability: float) -> bool:
         """Return True with the given probability."""
-        return self.random() < probability
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        return (
+            (((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11) * (1.0 / (1 << 53))
+            < probability
+        )
 
     def weighted_choice(self, items, weights):
         """Return an element of ``items`` chosen with the given weights."""
@@ -105,7 +133,14 @@ class XorShiftRNG:
         total = float(sum(weights))
         if total <= 0.0:
             raise ValueError("weights must sum to a positive value")
-        target = self.random() * total
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        target = (
+            (((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11) * (1.0 / (1 << 53))
+        ) * total
         cumulative = 0.0
         for item, weight in zip(items, weights):
             cumulative += weight
@@ -128,6 +163,21 @@ class XorShiftRNG:
         if not 0 < state <= _MASK64:
             raise ValueError("invalid xorshift state")
         self._state = state
+
+
+def stateless_hash_step(state: int, value: int) -> int:
+    """One chaining step of :func:`stateless_hash`.
+
+    ``stateless_hash(seed, a, b)`` equals
+    ``stateless_hash_step(stateless_hash_step(seed & MASK64, a), b)`` —
+    identical arithmetic — so hot callers with a fixed prefix (a static
+    instruction's address, a block id) can precompute the partial state
+    and pay a single step per draw.
+    """
+    state = (state ^ (value & _MASK64)) + _SPLITMIX_GAMMA & _MASK64
+    state = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state ^ (state >> 31)
 
 
 def stateless_hash(seed: int, *values: int) -> int:

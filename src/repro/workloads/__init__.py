@@ -13,7 +13,14 @@ from repro.workloads.suite import (
     benchmark_spec,
     load_suite,
 )
-from repro.workloads.trace import TraceReader, TraceRecorder, TraceRecord
+from repro.workloads.trace import (
+    TraceHeader,
+    TraceReader,
+    TraceRecord,
+    TraceRecorder,
+    load_trace_supply,
+    record_benchmark_trace,
+)
 
 __all__ = [
     "WorkloadSpec",
@@ -21,7 +28,10 @@ __all__ = [
     "benchmark_spec",
     "benchmark_program",
     "load_suite",
+    "TraceHeader",
     "TraceRecord",
     "TraceRecorder",
     "TraceReader",
+    "load_trace_supply",
+    "record_benchmark_trace",
 ]

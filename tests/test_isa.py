@@ -49,11 +49,22 @@ def test_dynamic_instruction_defaults():
     static = StaticInstruction(0x2000, Opcode.LOAD, dest=7, sources=(2,))
     dyn = DynamicInstruction(42, static)
     assert dyn.seq == 42
-    assert dyn.pc == 0x2000
+    assert dyn.static.address == 0x2000
     assert dyn.is_load and not dyn.is_store
     assert not dyn.issued and not dyn.completed and not dyn.squashed
     assert dyn.fetch_cycle == -1
     assert dyn.phys_dest == -1
+
+
+def test_dynamic_instruction_branch_only_slots():
+    # ``pc`` (and the other control-flow slots) exist only on branches —
+    # the packet-friendly lazily-populated slot contract.
+    branch = DynamicInstruction(1, StaticInstruction(0x3000, Opcode.BR_COND))
+    assert branch.pc == 0x3000
+    assert branch.predicted_taken is False
+    load = DynamicInstruction(2, StaticInstruction(0x2000, Opcode.LOAD, dest=7))
+    assert not hasattr(load, "pc")
+    assert not hasattr(load, "decode_cycle")
 
 
 def test_dynamic_instruction_properties_delegate():

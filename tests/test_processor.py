@@ -82,6 +82,9 @@ def test_commit_order_is_program_order(fresh_program):
 
     commit_stage.tick = spying_tick
     processor.run(2000)
+    # The spy must actually have run: replacing a stage's tick on the
+    # scheduler is a documented extension point.
+    assert seen
     assert seen == sorted(seen)
 
 

@@ -104,3 +104,94 @@ def test_record_to_file_prunes_as_it_goes(tmp_path):
     assert sum(1 for _ in TraceReader(str(path))) == 10_000
     # Records behind the prune point are gone from the live oracle.
     assert oracle._base > 0
+
+
+# ----------------------------------------------------------------------
+# Versioned (v2) traces: header, gzip, full-pipeline replay
+# ----------------------------------------------------------------------
+
+def test_v2_header_round_trip(tmp_path):
+    from repro.workloads.trace import record_benchmark_trace
+
+    path = tmp_path / "c.trace"
+    header = record_benchmark_trace("compress", str(path), 200)
+    reader = TraceReader(str(path))
+    parsed = reader.read_header()
+    assert parsed == header
+    assert parsed.version == 2
+    assert parsed.benchmark == "compress"
+    assert parsed.records == 200
+    assert len(list(reader)) == 200
+
+
+def test_gzip_traces_round_trip(tmp_path):
+    from repro.workloads.trace import record_benchmark_trace
+
+    plain = tmp_path / "c.trace"
+    packed = tmp_path / "c.trace.gz"
+    record_benchmark_trace("compress", str(plain), 150)
+    record_benchmark_trace("compress", str(packed), 150)
+    assert list(TraceReader(str(plain))) == list(TraceReader(str(packed)))
+    # The gzip file really is compressed.
+    assert packed.read_bytes()[:2] == b"\x1f\x8b"
+
+
+def test_malformed_field_raises_with_line_number(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("400000 br_cond 1 7 0\n40zz04 load 0 -1 0\n", encoding="ascii")
+    with pytest.raises(WorkloadError, match="bad.txt:2"):
+        list(TraceReader(str(path)))
+
+
+def test_headerless_trace_cannot_replay(tmp_path):
+    from repro.workloads.trace import load_trace_supply
+
+    path = tmp_path / "v1.txt"
+    path.write_text("400000 add 0 -1 0\n", encoding="ascii")
+    with pytest.raises(WorkloadError, match="headerless"):
+        load_trace_supply(str(path))
+
+
+def test_trace_replay_is_bit_identical_to_live_walk(tmp_path):
+    """Acceptance: a recorded trace replays through the full pipeline to
+    the same result fingerprint as the live walk."""
+    import json
+
+    from repro.experiments.engine import (
+        make_trace_cell,
+        result_to_dict,
+        simulate,
+        SimCell,
+    )
+    from repro.pipeline.config import table3_config
+    from repro.workloads.trace import record_benchmark_trace
+
+    path = tmp_path / "go.trace.gz"
+    record_benchmark_trace("go", str(path), 2500 + 600 + 2000)
+    replay_cell = make_trace_cell(
+        str(path), instructions=2500, warmup=600, config=table3_config(),
+        label="baseline",
+    )
+    live_cell = SimCell(
+        benchmark="go", controller_spec=("baseline",), config=table3_config(),
+        instructions=2500, warmup=600,
+    )
+    replayed = result_to_dict(simulate(replay_cell))
+    lived = result_to_dict(simulate(live_cell))
+    assert json.dumps(replayed, sort_keys=True) == json.dumps(lived, sort_keys=True)
+
+
+def test_trace_cell_fingerprint_tracks_content(tmp_path):
+    from repro.experiments.engine import cell_fingerprint, make_trace_cell
+    from repro.workloads.trace import record_benchmark_trace
+
+    a = tmp_path / "a.trace"
+    record_benchmark_trace("compress", str(a), 300)
+    cell = make_trace_cell(str(a), instructions=100, warmup=0)
+    plain = cell_fingerprint(cell)
+    # Same cell without the trace is a different address.
+    from dataclasses import replace
+    assert cell_fingerprint(replace(cell, trace=None)) != plain
+    # Re-recording with different content misses cleanly.
+    record_benchmark_trace("compress", str(a), 301)
+    assert cell_fingerprint(make_trace_cell(str(a), instructions=100, warmup=0)) != plain

@@ -28,6 +28,7 @@ from repro.experiments.engine import (
     default_warmup,
     make_cell,
     make_smt_cell,
+    make_trace_cell,
     simulate,
     simulate_smt,
 )
@@ -35,6 +36,7 @@ from repro.smt.mixes import MIX_NAMES
 from repro.workloads.suite import BENCHMARK_NAMES
 
 SORT_KEYS = ("cumulative", "tottime", "ncalls")
+SUPPLY_CHOICES = ("compiled", "live", "trace")
 
 
 def _make_parser() -> argparse.ArgumentParser:
@@ -54,6 +56,16 @@ def _make_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--mix", default=None, choices=MIX_NAMES,
         help="profile an SMT mix instead of a single-thread benchmark",
+    )
+    parser.add_argument(
+        "--supply", default="compiled", choices=SUPPLY_CHOICES,
+        help="front-end instruction supply: the pre-lowered packet supply "
+        "(default), the seed per-instruction walkers, or a trace replay "
+        "(needs --trace)",
+    )
+    parser.add_argument(
+        "--trace", default=None,
+        help="recorded v2 trace file for --supply trace",
     )
     parser.add_argument(
         "--instructions", type=int, default=None,
@@ -90,21 +102,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     options = _make_parser().parse_args(argv)
 
     if options.mix:
+        if options.supply != "compiled" or options.trace:
+            raise SystemExit(
+                "--supply/--trace select single-thread supplies; they do "
+                "not combine with --mix"
+            )
         cell = make_smt_cell(
             options.mix,
             instructions=options.instructions,
             warmup=options.warmup,
         )
         target, label = (lambda: simulate_smt(cell)), f"mix {cell.mix}"
+    elif options.supply == "trace":
+        if not options.trace:
+            raise SystemExit("--supply trace needs --trace PATH")
+        cell = make_trace_cell(
+            options.trace,
+            controller_spec=_controller_spec(options.experiment),
+            instructions=options.instructions,
+            warmup=options.warmup,
+        )
+        target = lambda: simulate(cell)  # noqa: E731
+        label = f"trace {options.trace} ({cell.benchmark})"
     else:
         cell = make_cell(
             options.benchmark,
             controller_spec=_controller_spec(options.experiment),
             instructions=options.instructions,
             warmup=options.warmup,
+            supply=options.supply,
         )
         target = lambda: simulate(cell)  # noqa: E731
-        label = f"{cell.benchmark} under {cell.effective_label}"
+        label = f"{cell.benchmark} under {cell.effective_label} ({options.supply} supply)"
 
     print(
         f"profiling {label}: {cell.instructions} instructions "
