@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Batched-vs-unbatched scheduling on a short-cell sweep.
+
+Measures what the :class:`~repro.experiments.scheduler.SweepScheduler`
+buys on suites where per-cell fixed costs dominate: a figure-style grid
+of 32 short cells (8 mechanisms x 4 benchmarks) dispatched
+
+* **unbatched** — the pre-scheduler engine behaviour: a fresh
+  ``ProcessPoolExecutor`` per driver call, one task per cell, so
+  same-program cells scatter across workers and every worker regenerates
+  (and re-lowers) the program; versus
+* **batched** — the scheduler: affinity batches on ``(benchmark, seed)``
+  over the shared warm pool, one program build per group per pass.
+
+Passes are **interleaved** (unbatched then batched, repeated) and the
+fastest pass of each mode is kept, per the ``BENCH_core.json``
+methodology note — the recording machine's clock wanders between
+windows, so only interleaved same-window ratios are meaningful.  Each
+pass uses fresh program seeds, so no mode ever reuses a program memoised
+by an earlier pass; results of both modes are asserted identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_study_batching.py            # print
+    PYTHONPATH=src python benchmarks/bench_study_batching.py --record   # store
+    PYTHONPATH=src python benchmarks/bench_study_batching.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.experiments.engine import SimCell, execute_cell, make_cell
+from repro.experiments.scheduler import SweepScheduler, shutdown_shared_pool
+from repro.workloads.suite import benchmark_spec
+
+DEFAULT_RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_core.json",
+)
+
+_SCHEMA = 1
+_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_BATCH_INSTRUCTIONS", "2000"))
+_WARMUP = int(os.environ.get("REPRO_BENCH_BATCH_WARMUP", "500"))
+_BENCHMARKS = ("go", "gzip", "gcc", "twolf")
+_MECHANISMS = (
+    ("baseline",),
+    ("throttle", "A1"), ("throttle", "A3"), ("throttle", "A5"),
+    ("throttle", "B5"), ("throttle", "C2"), ("throttle", "C6"),
+    ("gating", 2),
+)
+
+
+def suite_cells(pass_index: int) -> List[SimCell]:
+    """The fixed grid, on fresh per-pass seeds (no cross-pass memo hits)."""
+    cells = []
+    for spec in _MECHANISMS:
+        for benchmark in _BENCHMARKS:
+            seed = benchmark_spec(benchmark).seed + 7919 * (pass_index + 1)
+            cells.append(make_cell(
+                benchmark, spec, instructions=_INSTRUCTIONS, warmup=_WARMUP,
+                seed=seed,
+            ))
+    return cells
+
+
+def run_unbatched(cells: List[SimCell], jobs: int) -> List:
+    """The pre-scheduler dispatch: fresh pool, one task per cell."""
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(execute_cell, cells))
+
+
+def measure(repeats: int, jobs: int) -> Dict:
+    """Interleaved best-of-N of both modes; results must be identical."""
+    best_unbatched: Optional[float] = None
+    best_batched: Optional[float] = None
+    per_pass = []
+    scheduler = SweepScheduler(jobs=jobs)
+    for pass_index in range(max(1, repeats)):
+        cells = suite_cells(pass_index)
+
+        start = time.perf_counter()
+        unbatched = run_unbatched(cells, jobs)
+        unbatched_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = scheduler.run(cells)
+        batched_s = time.perf_counter() - start
+
+        if batched != unbatched:
+            raise SystemExit(
+                "FAIL: batched results diverged from unbatched results"
+            )
+        per_pass.append({
+            "unbatched_seconds": unbatched_s,
+            "batched_seconds": batched_s,
+            "speedup": unbatched_s / batched_s,
+        })
+        if best_unbatched is None or unbatched_s < best_unbatched:
+            best_unbatched = unbatched_s
+        if best_batched is None or batched_s < best_batched:
+            best_batched = batched_s
+    shutdown_shared_pool()
+    return {
+        "schema": _SCHEMA,
+        "jobs": jobs,
+        "cells": len(suite_cells(0)),
+        "instructions": _INSTRUCTIONS,
+        "warmup": _WARMUP,
+        "repeats": max(1, repeats),
+        "unbatched_seconds": best_unbatched,
+        "batched_seconds": best_batched,
+        "speedup": best_unbatched / best_batched,
+        "per_pass": per_pass,
+    }
+
+
+def _load(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _store(path: str, payload: Dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_study_batching",
+        description="Batched vs unbatched scheduling on a short-cell sweep.",
+    )
+    parser.add_argument(
+        "--result-file", default=DEFAULT_RESULT_PATH,
+        help="path of BENCH_core.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="interleaved passes; the fastest of each mode is kept "
+        "(default: 3)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for both modes (default: min(4, cpus), at "
+        "least 2 so the pool is exercised; --check defaults to the "
+        "recorded jobs count so it compares like with like)",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--record", action="store_true",
+        help="store the measurement as BENCH_core.json's study_batching "
+        "section",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail when the batched-vs-unbatched speedup falls below the "
+        "recorded one by more than --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.4,
+        help="--check: allowed fractional drop below the recorded speedup "
+        "(default 0.4; multiprocessing timings are noisy on shared "
+        "runners)",
+    )
+    options = parser.parse_args(argv)
+
+    recorded_section: Optional[Dict] = None
+    if options.check:
+        recorded_section = _load(options.result_file)["study_batching"]
+    jobs = options.jobs
+    if jobs is None:
+        if recorded_section is not None:
+            jobs = int(recorded_section["jobs"])
+        else:
+            jobs = max(2, min(4, os.cpu_count() or 1))
+
+    measurement = measure(repeats=options.repeats, jobs=jobs)
+    print(
+        f"measured: {measurement['cells']} cells x "
+        f"{measurement['repeats']} interleaved passes at jobs="
+        f"{measurement['jobs']}: unbatched "
+        f"{measurement['unbatched_seconds']:.2f}s, batched "
+        f"{measurement['batched_seconds']:.2f}s -> "
+        f"{measurement['speedup']:.2f}x"
+    )
+
+    if options.record:
+        path = options.result_file
+        payload = _load(path) if os.path.exists(path) else {"schema": _SCHEMA}
+        payload["study_batching"] = measurement
+        _store(path, payload)
+        print(f"wrote study_batching section to {path}")
+        return 0
+
+    if options.check:
+        recorded = recorded_section["speedup"]
+        # No clamp to 1.0: on a noisy shared runner a healthy batched
+        # path can measure fractionally below parity; the gate catches
+        # *regressions* (batching suddenly costing real time), which the
+        # tolerance band around the recorded speedup expresses directly.
+        floor = recorded * (1.0 - options.tolerance)
+        measured = measurement["speedup"]
+        print(
+            f"recorded speedup {recorded:.2f}x, floor {floor:.2f}x, "
+            f"measured {measured:.2f}x"
+        )
+        if measured < floor:
+            print(
+                "FAIL: batched scheduling no longer beats unbatched "
+                "dispatch by the recorded margin"
+            )
+            return 1
+        print("OK: batching speedup within tolerance")
+        return 0
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

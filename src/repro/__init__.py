@@ -103,9 +103,16 @@ from repro.smt import (
     mix_spec,
     weighted_speedup,
 )
+from repro.studies import (
+    StudyContext,
+    StudySpec,
+    get_study,
+    run_study,
+    study_names,
+)
 from repro.workloads import BENCHMARK_NAMES, benchmark_program, benchmark_spec, load_suite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -162,6 +169,12 @@ __all__ = [
     "build_engine",
     "CampaignResult",
     "run_campaign",
+    # studies
+    "StudySpec",
+    "StudyContext",
+    "run_study",
+    "get_study",
+    "study_names",
     # SMT
     "SmtProcessor",
     "SmtResult",

@@ -11,6 +11,14 @@ Examples::
     python -m repro ablations              # the DESIGN.md §6 studies
     python -m repro trace record go go.trace.gz   # replayable trace
     python -m repro trace replay go.trace.gz --verify
+    python -m repro study list             # every registered StudySpec
+    python -m repro study run mix4-grid    # run one (or several) studies
+    python -m repro cache info             # result-cache entry count/bytes
+    python -m repro cache prune --days 30  # drop stale cache entries
+
+``study run`` accepts several names and executes them all on one warm
+scheduler (shared process pool, shared cache), streaming per-cell
+progress to stderr while stdout stays byte-deterministic.
 
 Run lengths default to the library's simulation defaults; use
 ``--instructions``/``--warmup`` for quicker (or higher-fidelity) passes.
@@ -43,16 +51,10 @@ from repro.experiments.ablations import (
     mshr_sensitivity,
 )
 from repro.experiments.campaign import format_campaign, run_campaign
-from repro.experiments.engine import (
-    ResultCache,
-    build_engine,
-    make_smt_cell,
-    smt_baseline_cells,
-)
+from repro.experiments.engine import ResultCache, build_engine
 from repro.experiments.runner import ExperimentRunner, run_benchmark
 from repro.report.ascii import figure_bars, sweep_lines
 from repro.report.export import figure_to_csv, figure_to_json
-from repro.report.smt import format_smt_report
 from repro.smt.mixes import MIX_NAMES, load_mixes
 from repro.smt.policies import POLICY_NAMES
 from repro.workloads.suite import BENCHMARK_NAMES
@@ -74,7 +76,7 @@ _FIGURES = {
 _COMMANDS = (
     "list", "table1", "table2", "table3",
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "run", "ablations", "campaign", "smt", "trace",
+    "run", "ablations", "campaign", "smt", "trace", "study", "cache",
 )
 
 
@@ -133,8 +135,9 @@ def _make_parser() -> argparse.ArgumentParser:
         help="ignore the result cache for this invocation",
     )
     parser.add_argument(
-        "--seeds", type=int, default=3,
-        help="program-seed variants per campaign cell (campaign only)",
+        "--seeds", type=int, default=None,
+        help="program-seed variants per campaign-style cell (campaign: "
+        "default 3; study run: default from the study spec)",
     )
     parser.add_argument(
         "--save", default=None, help="write campaign results to a JSON file"
@@ -159,6 +162,11 @@ def _make_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="trace replay only: also run the live walk and require "
         "bit-identical results",
+    )
+    parser.add_argument(
+        "--days", type=float, default=30.0,
+        help="cache prune only: drop entries older than this many days "
+        "(default: 30)",
     )
     return parser
 
@@ -212,6 +220,9 @@ def _cmd_list() -> None:
     print("                                weighted speedup, fairness, EPI)")
     print("  trace record BENCH P[.gz]   — record a replayable true-path trace")
     print("  trace replay PATH [--verify]— replay it through the full pipeline")
+    print("  study list|run NAME [NAME..]— declarative studies on the batched")
+    print("                                sweep scheduler (one warm pool)")
+    print("  cache info|prune            — inspect / age out the result cache")
     print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
     print(f"mixes: {', '.join(MIX_NAMES)} (policies: {', '.join(POLICY_NAMES)})")
     print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
@@ -246,23 +257,15 @@ def _cmd_ablations(options, runner: ExperimentRunner, benchmarks) -> None:
     print()
     print(fig_mod.format_figure(gating_threshold_sweep(runner, benchmarks=benchmarks)))
     print()
-    print("clock-gating styles: suite averages")
-    for style, row in clock_gating_styles(
+    from repro.studies.library import render_mshr_sweep, render_style_table
+
+    print(render_style_table(clock_gating_styles(
         runner.instructions, runner.warmup, benchmarks=benchmarks
-    ).items():
-        print(
-            f"  {style}: {row['average_power_watts']:6.1f} W, "
-            f"wasted {row['wasted_fraction'] * 100:5.1f}%"
-        )
+    )))
     print()
-    print("MSHR sensitivity:")
-    for count, row in mshr_sensitivity(
+    print(render_mshr_sweep(mshr_sensitivity(
         (2, 8, 16), runner.instructions, runner.warmup, benchmarks=benchmarks
-    ).items():
-        print(
-            f"  mshr={count:2d}: baseline IPC {row['baseline_ipc']:.2f}, "
-            f"oracle-fetch speedup {row['oracle_fetch_speedup']:.3f}"
-        )
+    )))
 
 
 def _cmd_smt(options, cache: Optional[ResultCache]) -> None:
@@ -275,19 +278,21 @@ def _cmd_smt(options, cache: Optional[ResultCache]) -> None:
                 f"{', '.join(mix.benchmarks)} — {mix.description}"
             )
         raise SystemExit(2)
-    cell = make_smt_cell(
-        options.mix,
-        policy=options.policy,
-        sharing=options.sharing,
-        instructions=options.instructions,
-        warmup=options.warmup,
+    from repro.experiments.scheduler import SweepScheduler
+    from repro.studies.library import smt_mix_study
+    from repro.studies.spec import StudyContext, run_study
+
+    # One study: the mix plus its single-threaded references, batched
+    # through the same fan-out and content-addressed cache.
+    study = smt_mix_study(
+        options.mix, policy=options.policy, sharing=options.sharing,
         seed=options.seed,
     )
-    engine = build_engine(jobs=options.jobs, cache=cache)
-    # One batch: the mix plus its single-threaded references, all through
-    # the same fan-out and content-addressed cache.
-    results = engine.run([cell] + smt_baseline_cells(cell))
-    print(format_smt_report(results[0], results[1:]))
+    context = StudyContext(
+        instructions=options.instructions, warmup=options.warmup
+    )
+    scheduler = SweepScheduler(jobs=options.jobs, cache=cache)
+    print(run_study(study, context, executor=scheduler).render())
 
 
 def _cmd_trace(options) -> None:
@@ -366,6 +371,96 @@ def _cmd_trace(options) -> None:
     raise SystemExit(usage)
 
 
+def _cmd_study(options, cache: Optional[ResultCache], benchmarks) -> None:
+    """``repro study list`` / ``repro study run NAME [NAME ...]``."""
+    from repro.experiments.scheduler import SweepScheduler
+    from repro.studies import StudyContext, all_studies, get_study, run_study
+
+    usage = (
+        "usage: repro study list\n"
+        "       repro study run NAME [NAME ...] [--benchmarks B,...] "
+        "[--instructions N] [--warmup N] [--seeds N] [--jobs N] "
+        "[--cache-dir DIR] [--csv F] [--json F]"
+    )
+    if not options.args:
+        raise SystemExit(usage)
+    action = options.args[0]
+
+    if action == "list":
+        studies = all_studies()
+        width = max(len(name) for name in studies)
+        print(f"{len(studies)} registered studies (repro study run NAME):")
+        for name, spec in studies.items():
+            print(f"  {name:<{width}s}  {spec.grid()}")
+            print(f"  {'':<{width}s}  {spec.description}")
+        return
+
+    if action != "run" or len(options.args) < 2:
+        raise SystemExit(usage)
+    names = options.args[1:]
+    specs = [get_study(name) for name in names]  # validate all up front
+    if (options.csv or options.json) and len(specs) > 1:
+        raise SystemExit("--csv/--json exports need exactly one study")
+    if options.csv and specs[0].to_csv is None:
+        raise SystemExit(f"study {specs[0].name!r} has no CSV export")
+    if options.json and specs[0].to_json is None:
+        raise SystemExit(f"study {specs[0].name!r} has no JSON export")
+    context = StudyContext(
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        instructions=options.instructions,
+        warmup=options.warmup,
+        seeds=options.seeds,
+    )
+    # One scheduler for the whole run: every study shares the warm
+    # process pool, the cache and the affinity batcher.
+    scheduler = SweepScheduler(jobs=options.jobs, cache=cache)
+    for index, spec in enumerate(specs):
+        def progress(done, total, _name=spec.name):
+            print(f"\r{_name}: {done}/{total} cells", end="", file=sys.stderr)
+
+        run = run_study(spec, context, executor=scheduler, progress=progress)
+        print(f"\r{spec.name}: {len(run.plan.cells)} cells done",
+              file=sys.stderr)
+        if index:
+            print()
+        print(run.render())
+        if options.csv:
+            with open(options.csv, "w") as handle:
+                handle.write(spec.to_csv(run.artifact))
+            print(f"wrote {options.csv}")
+        if options.json:
+            with open(options.json, "w") as handle:
+                handle.write(spec.to_json(run.artifact))
+            print(f"wrote {options.json}")
+
+
+def _cmd_cache(options) -> None:
+    """``repro cache info`` / ``repro cache prune --days N``."""
+    usage = "usage: repro cache info|prune [--cache-dir DIR] [--days N]"
+    if not options.args or options.args[0] not in ("info", "prune"):
+        raise SystemExit(usage)
+    if not options.cache_dir:
+        raise SystemExit(
+            "repro cache: no cache directory (pass --cache-dir or set "
+            "REPRO_CACHE_DIR)"
+        )
+    cache = ResultCache(options.cache_dir)
+    if options.args[0] == "info":
+        info = cache.info()
+        print(f"cache {options.cache_dir}")
+        print(f"  entries       {info['entries']}")
+        print(f"  bytes         {info['bytes']}"
+              f" ({info['bytes'] / 1048576:.2f} MiB)")
+        print(f"  oldest entry  {info['oldest_age_days']:.1f} days old")
+        print(f"  newest entry  {info['newest_age_days']:.1f} days old")
+        return
+    dropped = cache.prune(options.days)
+    print(
+        f"pruned {dropped} entries older than {options.days:g} days "
+        f"from {options.cache_dir}"
+    )
+
+
 def _experiment_spec(name: str) -> tuple:
     """Map a CLI experiment name to a controller spec.
 
@@ -386,7 +481,7 @@ def _cmd_campaign(options, cache: Optional[ResultCache], benchmarks) -> None:
     result = run_campaign(
         experiments,
         benchmarks=benchmarks,
-        seeds=options.seeds,
+        seeds=3 if options.seeds is None else options.seeds,
         instructions=options.instructions or 8_000,
         warmup=options.warmup,
         engine=build_engine(jobs=options.jobs, cache=cache),
@@ -405,6 +500,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if command == "trace":
         _cmd_trace(options)
+        return 0
+    if command == "cache":
+        _cmd_cache(options)
         return 0
 
     options.jobs = _effective_jobs(options.jobs)
@@ -452,6 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_campaign(options, cache, benchmarks)
     elif command == "smt":
         _cmd_smt(options, cache)
+    elif command == "study":
+        _cmd_study(options, cache, benchmarks)
     return 0
 
 

@@ -6,11 +6,17 @@ from repro.experiments.engine import (
     ExecutionEngine,
     ResultCache,
     SimCell,
+    SmtCell,
     build_engine,
     cell_fingerprint,
     make_cell,
+    make_smt_cell,
+    policy_spec,
     simulate,
+    simulate_smt,
+    smt_baseline_cells,
 )
+from repro.experiments.scheduler import SweepScheduler, plan_batches, shared_pool
 from repro.experiments.policy_search import (
     PolicyPoint,
     enumerate_policies,
@@ -38,11 +44,19 @@ __all__ = [
     "default_instructions",
     "default_warmup",
     "SimCell",
+    "SmtCell",
     "make_cell",
+    "make_smt_cell",
     "simulate",
+    "simulate_smt",
+    "smt_baseline_cells",
+    "policy_spec",
     "cell_fingerprint",
     "ResultCache",
     "ExecutionEngine",
+    "SweepScheduler",
+    "plan_batches",
+    "shared_pool",
     "build_engine",
     "CampaignResult",
     "run_campaign",

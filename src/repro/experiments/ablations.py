@@ -12,8 +12,12 @@ Each function isolates one design choice of Selective Throttling:
   paper fixes N=2 following Manne et al.).
 * :func:`clock_gating_styles` — the baseline's power breakdown under
   Wattch's cc0-cc3 conditional-clocking styles (the paper uses cc3).
+* :func:`mshr_sensitivity` — the §3 resource-waste channel vs MSHR count.
 
-All return plain dictionaries of suite-average metrics, printable with
+Every ablation is a :class:`~repro.studies.spec.StudySpec` (see
+:mod:`repro.studies.library`); the functions here bind the study to a
+runner or scheduler and return its artifact — plain dictionaries or
+:class:`~repro.experiments.figures.FigureResult` grids, printable with
 :func:`repro.experiments.figures.format_figure` conventions.
 """
 
@@ -21,12 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.figures import FigureResult, _run_figure
-from repro.experiments.runner import ExperimentRunner, run_benchmark
-from repro.pipeline.config import table3_config
-from repro.power.model import ClockGatingStyle
-from repro.utils.stats import arithmetic_mean
-from repro.workloads.suite import BENCHMARK_NAMES
+from repro.experiments.figures import FigureResult, _run_figure_study
+from repro.experiments.runner import ExperimentRunner
 
 
 def estimator_swap(
@@ -41,12 +41,9 @@ def estimator_swap(
     degradation the paper's four-level categorisation was designed to
     avoid.  The perfect variant bounds what any estimator could achieve.
     """
-    experiments = {
-        f"{policy}/bpru": ("throttle", policy),
-        f"{policy}/jrs": ("throttle", policy, "jrs"),
-        f"{policy}/perfect": ("throttle", policy, "perfect"),
-    }
-    return _run_figure("estimator-swap", experiments, runner, benchmarks)
+    from repro.studies.library import estimator_swap_study
+
+    return _run_figure_study(estimator_swap_study(policy), runner, benchmarks)
 
 
 def escalation_rule(
@@ -55,11 +52,9 @@ def escalation_rule(
     benchmarks: Optional[Sequence[str]] = None,
 ) -> FigureResult:
     """The paper's escalate-only rule on vs off for one policy."""
-    experiments = {
-        f"{policy}/escalate": ("throttle", policy),
-        f"{policy}/latest-wins": ("throttle-noescalate", policy),
-    }
-    return _run_figure("escalation-rule", experiments, runner, benchmarks)
+    from repro.studies.library import escalation_rule_study
+
+    return _run_figure_study(escalation_rule_study(policy), runner, benchmarks)
 
 
 def gating_threshold_sweep(
@@ -68,8 +63,9 @@ def gating_threshold_sweep(
     benchmarks: Optional[Sequence[str]] = None,
 ) -> FigureResult:
     """Pipeline Gating at a range of gating thresholds."""
-    experiments = {f"gating-th{n}": ("gating", n) for n in thresholds}
-    return _run_figure("gating-threshold", experiments, runner, benchmarks)
+    from repro.studies.library import gating_threshold_study
+
+    return _run_figure_study(gating_threshold_study(thresholds), runner, benchmarks)
 
 
 def clock_gating_styles(
@@ -84,23 +80,15 @@ def clock_gating_styles(
     progressively harder; cc3 (the paper's style) is cc2 plus a 10% idle
     floor.
     """
-    results: Dict[str, Dict[str, float]] = {}
-    names = list(benchmarks or BENCHMARK_NAMES)
-    for style in ClockGatingStyle:
-        powers = []
-        wasted = []
-        for name in names:
-            result = run_benchmark(
-                name, ("baseline",), instructions=instructions, warmup=warmup,
-                clock_gating=style.value,
-            )
-            powers.append(result.average_power_watts)
-            wasted.append(result.wasted_energy_fraction)
-        results[style.value] = {
-            "average_power_watts": arithmetic_mean(powers),
-            "wasted_fraction": arithmetic_mean(wasted),
-        }
-    return results
+    from repro.studies.library import clock_gating_study
+    from repro.studies.spec import StudyContext, run_study
+
+    context = StudyContext(
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        instructions=instructions,
+        warmup=warmup,
+    )
+    return run_study(clock_gating_study(), context).artifact
 
 
 def mshr_sensitivity(
@@ -115,27 +103,12 @@ def mshr_sensitivity(
     are never cancelled), widening the oracle-fetch gap — the
     resource-waste channel of the paper's §3.
     """
-    from dataclasses import replace
+    from repro.studies.library import mshr_study
+    from repro.studies.spec import StudyContext, run_study
 
-    results: Dict[int, Dict[str, float]] = {}
-    names = list(benchmarks or BENCHMARK_NAMES)
-    for count in counts:
-        config = replace(table3_config(), mshr_count=count)
-        ipcs = []
-        speedups = []
-        for name in names:
-            base = run_benchmark(
-                name, ("baseline",), config=config,
-                instructions=instructions, warmup=warmup,
-            )
-            oracle = run_benchmark(
-                name, ("oracle", "fetch"), config=config,
-                instructions=instructions, warmup=warmup,
-            )
-            ipcs.append(base.ipc)
-            speedups.append(base.cycles / oracle.cycles)
-        results[count] = {
-            "baseline_ipc": arithmetic_mean(ipcs),
-            "oracle_fetch_speedup": arithmetic_mean(speedups),
-        }
-    return results
+    context = StudyContext(
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        instructions=instructions,
+        warmup=warmup,
+    )
+    return run_study(mshr_study(counts), context).artifact

@@ -34,9 +34,8 @@ from repro.experiments.engine import (
     build_engine,
     make_cell,
 )
-from repro.experiments.results import compare
-from repro.pipeline.config import ProcessorConfig, table3_config
-from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+from repro.pipeline.config import ProcessorConfig
+from repro.workloads.suite import benchmark_spec
 
 # Two-sided 95% Student-t critical values by degrees of freedom; the tail
 # of the table falls back to the normal value.  11-30 matter for real
@@ -222,36 +221,21 @@ def run_campaign(
     simulates what is missing.  Pass an ``engine`` directly to share a
     cache/pool across campaigns or to inspect its counters.
     """
+    from repro.studies.library import campaign_study
+    from repro.studies.spec import StudyContext, run_study
+
     if seeds < 1:
         raise ExperimentError("need at least one seed")
-    names = list(benchmarks or BENCHMARK_NAMES)
-    config = config or table3_config()
-    warmup = instructions // 3 if warmup is None else warmup
     engine = engine or build_engine(jobs=jobs, cache_dir=cache_dir)
-
-    result = CampaignResult(
-        name=name, seeds=list(range(seeds)), instructions=instructions
+    context = StudyContext(
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        instructions=instructions,
+        warmup=warmup,
+        config=config,
+        seeds=seeds,
     )
-    for label in experiments:
-        result.samples[label] = {
-            benchmark: {metric: [] for metric in METRICS} for benchmark in names
-        }
-
-    pairs = campaign_cells(experiments, names, seeds, instructions, warmup, config)
-    outcomes = engine.run([cell for _, cell in pairs])
-
-    baselines: Dict[Tuple[int, str], object] = {}
-    for (variant, benchmark, label), outcome in zip(
-        (key for key, _ in pairs), outcomes
-    ):
-        if label is None:
-            baselines[(variant, benchmark)] = outcome
-            continue
-        comparison = compare(baselines[(variant, benchmark)], outcome)
-        cell = result.samples[label][benchmark]
-        for metric in METRICS:
-            cell[metric].append(getattr(comparison, metric))
-    return result
+    study = campaign_study(experiments, name=name)
+    return run_study(study, context, executor=engine).artifact
 
 
 def format_campaign(

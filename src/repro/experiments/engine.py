@@ -32,15 +32,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.gating import PipelineGatingController
+from repro.core.levels import BandwidthLevel
 from repro.core.oracle import OracleController, OracleMode
-from repro.core.policy import experiment_policy
+from repro.core.policy import ThrottleAction, ThrottlePolicy, experiment_policy
 from repro.core.throttler import NullController, SelectiveThrottler, SpeculationController
 from repro.errors import ExperimentError
+from repro.experiments.scheduler import SweepScheduler
 from repro.experiments.results import SimulationResult
 from repro.pipeline.config import ProcessorConfig, table3_config
 from repro.pipeline.processor import Processor
@@ -89,12 +92,56 @@ def make_controller(spec: ControllerSpec) -> SpeculationController:
                 f"experiment {spec[1]!r} is Pipeline Gating; use ('gating', N)"
             )
         return SelectiveThrottler(policy, escalate_only=kind == "throttle")
+    if kind == "policy":
+        return SelectiveThrottler(policy_from_spec(spec))
     if kind == "gating":
         threshold = spec[1] if len(spec) > 1 else 2
         return PipelineGatingController(threshold)
     if kind == "oracle":
         return OracleController(OracleMode(spec[1]))
     raise ExperimentError(f"unknown controller spec {spec!r}")
+
+
+def policy_spec(policy: ThrottlePolicy) -> ControllerSpec:
+    """Encode an arbitrary throttle policy as a picklable controller spec.
+
+    ``("policy", name, lc, vlc, hc, vhc)`` with each action a plain
+    ``(fetch, decode, no_select)`` tuple of ints/bool — all four
+    confidence levels, so even policies that throttle on HC/VHC (which
+    the paper's tables never do) round-trip exactly.  Policy-search
+    cells therefore flow through the engine, the process pool and the
+    JSON cache like any named experiment.
+    """
+    from repro.confidence.base import ConfidenceLevel
+
+    def encode(action: ThrottleAction) -> Tuple[int, int, bool]:
+        return (int(action.fetch), int(action.decode), bool(action.no_select))
+
+    return (
+        "policy",
+        policy.name,
+        encode(policy.action_for(ConfidenceLevel.LC)),
+        encode(policy.action_for(ConfidenceLevel.VLC)),
+        encode(policy.action_for(ConfidenceLevel.HC)),
+        encode(policy.action_for(ConfidenceLevel.VHC)),
+    )
+
+
+def policy_from_spec(spec: ControllerSpec) -> ThrottlePolicy:
+    """Rebuild the throttle policy encoded by :func:`policy_spec`."""
+    if len(spec) != 6:
+        raise ExperimentError(f"malformed policy spec {spec!r}")
+    _, name, lc, vlc, hc, vhc = spec
+
+    def decode(action) -> ThrottleAction:
+        fetch, decode_bw, no_select = action
+        return ThrottleAction(
+            BandwidthLevel(fetch), BandwidthLevel(decode_bw), bool(no_select)
+        )
+
+    return ThrottlePolicy(
+        name, lc=decode(lc), vlc=decode(vlc), hc=decode(hc), vhc=decode(vhc)
+    )
 
 
 def confidence_kind_for(spec: ControllerSpec) -> Optional[str]:
@@ -107,6 +154,8 @@ def confidence_kind_for(spec: ControllerSpec) -> Optional[str]:
     kind = spec[0] if spec else "baseline"
     if kind in ("throttle", "throttle-noescalate"):
         return spec[2] if len(spec) > 2 else "bpru"
+    if kind == "policy":
+        return "bpru"  # policy search evaluates on the paper's estimator
     if kind == "gating":
         return "jrs"
     if kind == "oracle":
@@ -123,6 +172,8 @@ def label_of(spec: ControllerSpec) -> str:
         return spec[1] if len(spec) < 3 else f"{spec[1]}/{spec[2]}"
     if kind == "throttle-noescalate":
         return f"{spec[1]}-noesc"
+    if kind == "policy":
+        return spec[1]
     if kind == "gating":
         return f"gating(th={spec[1] if len(spec) > 1 else 2})"
     if kind == "oracle":
@@ -252,18 +303,28 @@ def make_trace_cell(
 # many mechanisms, and generation was a measurable slice of short cells.
 # (The SMT path is excluded: concurrent hardware threads need private
 # Program instances.)
-_PROGRAM_MEMO: Dict[Tuple[str, int], "Program"] = {}
-_PROGRAM_MEMO_LIMIT = 64
+#
+# Bounded as a true LRU: scheduler workers live for a whole multi-study
+# run now (the shared pool), and an unbounded memo — or the old
+# stop-caching-at-the-cap behaviour, which silently disabled the memo for
+# every cell after the first 64 (benchmark, seed) pairs of a long
+# campaign — would grow worker RSS with the sweep size.  The cap only
+# needs to cover one affinity batch plus the suite's calibrated defaults.
+_PROGRAM_MEMO: "OrderedDict[Tuple[str, int], Program]" = OrderedDict()
+_PROGRAM_MEMO_LIMIT = 32
 
 
 def _program_for(spec) -> "Program":
-    """The (memoised) program of a workload spec."""
+    """The (memoised) program of a workload spec (bounded LRU)."""
     key = (spec.name, spec.seed)
     program = _PROGRAM_MEMO.get(key)
     if program is None:
         program = spec.build_program()
-        if len(_PROGRAM_MEMO) < _PROGRAM_MEMO_LIMIT:
-            _PROGRAM_MEMO[key] = program
+        _PROGRAM_MEMO[key] = program
+        if len(_PROGRAM_MEMO) > _PROGRAM_MEMO_LIMIT:
+            _PROGRAM_MEMO.popitem(last=False)
+    else:
+        _PROGRAM_MEMO.move_to_end(key)
     return program
 
 
@@ -629,32 +690,109 @@ class ResultCache:
         os.replace(tmp, path)
         self.stores += 1
 
+    # -- maintenance (the `repro cache` subcommands) --------------------
+
+    def entries(self) -> List[str]:
+        """Paths of every cache entry, sorted for deterministic output."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        return [
+            os.path.join(self.directory, name)
+            for name in names
+            if name.endswith(".json")
+        ]
+
+    def info(self) -> Dict[str, float]:
+        """Entry count, total bytes and age range of the cache directory."""
+        now = time.time()
+        count = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self.entries():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            count += 1
+            total_bytes += stat.st_size
+            oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+        return {
+            "entries": count,
+            "bytes": total_bytes,
+            "oldest_age_days": (now - oldest) / 86400.0 if oldest else 0.0,
+            "newest_age_days": (now - newest) / 86400.0 if newest else 0.0,
+        }
+
+    def prune(self, older_than_days: float) -> int:
+        """Drop entries last written more than N days ago; returns count.
+
+        Also sweeps orphaned ``*.json.tmp.<pid>`` files past the cutoff —
+        the leftovers of a run killed between write and rename — which
+        :meth:`entries` deliberately excludes (not counted in the return
+        value).
+        """
+        if older_than_days < 0:
+            raise ExperimentError("prune age must be >= 0 days")
+        cutoff = time.time() - older_than_days * 86400.0
+        dropped = 0
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return 0
+        for name in names:
+            is_entry = name.endswith(".json")
+            if not is_entry and ".json.tmp." not in name:
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if os.stat(path).st_mtime < cutoff:
+                    os.remove(path)
+                    dropped += is_entry
+            except OSError:
+                continue
+        return dropped
+
 
 # ----------------------------------------------------------------------
 # Parallel execution
 # ----------------------------------------------------------------------
 
 class ExecutionEngine:
-    """Runs batches of cells, optionally in parallel and cached.
+    """Compatibility facade over the batched :class:`SweepScheduler`.
 
-    ``jobs`` > 1 fans uncached cells out over a
-    :class:`~concurrent.futures.ProcessPoolExecutor` (the simulator is
-    pure Python, so processes — not threads — buy real parallelism).
-    Results are always returned in submission order regardless of
-    completion order, and ``executed`` counts actual simulations (cache
-    hits excluded), which is what campaign resume tests assert on.
+    Every driver used to talk to this class directly; it now delegates to
+    a scheduler, so old call sites transparently get affinity batching,
+    the shared warm pool and ordered streaming.  Results are always
+    returned in submission order regardless of completion order, and
+    ``executed`` counts actual simulations (cache hits excluded), which
+    is what campaign resume tests assert on.
     """
 
     def __init__(
         self,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
+        batch_cells: Optional[int] = None,
     ) -> None:
-        if jobs < 1:
-            raise ExperimentError("jobs must be >= 1")
-        self.jobs = jobs
-        self.cache = cache
-        self.executed = 0
+        self.scheduler = SweepScheduler(
+            jobs=jobs, cache=cache, batch_cells=batch_cells
+        )
+
+    @property
+    def jobs(self) -> int:
+        return self.scheduler.jobs
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.scheduler.cache
+
+    @property
+    def executed(self) -> int:
+        return self.scheduler.executed
 
     def run_cell(self, cell: SimCell) -> SimulationResult:
         return self.run([cell])[0]
@@ -665,28 +803,14 @@ class ExecutionEngine:
         Batches may mix cell kinds: single-thread :class:`SimCell` and
         :class:`SmtCell` entries share the pool and the cache.
         """
-        results: List = [None] * len(cells)
-        pending: List[Tuple[int, object]] = []
-        for index, cell in enumerate(cells):
-            cached = self.cache.get(cell) if self.cache else None
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append((index, cell))
+        return self.scheduler.run(cells)
 
-        if pending:
-            todo = [cell for _, cell in pending]
-            if self.jobs > 1 and len(todo) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    simulated = list(pool.map(execute_cell, todo))
-            else:
-                simulated = [execute_cell(cell) for cell in todo]
-            for (index, cell), result in zip(pending, simulated):
-                results[index] = result
-                self.executed += 1
-                if self.cache is not None:
-                    self.cache.put(cell, result)
-        return results  # type: ignore[return-value]
+    # The executor protocol shared with ExperimentRunner / SweepScheduler.
+    run_cells = run
+
+    def stream(self, cells: Sequence) -> Iterator[Tuple[int, object]]:
+        """Ordered streaming over a batch (see ``SweepScheduler.stream``)."""
+        return self.scheduler.stream(cells)
 
 
 def build_engine(

@@ -3,18 +3,21 @@
 Every function returns a :class:`FigureResult`: per-benchmark
 :class:`~repro.experiments.results.ComparisonResult` rows for every curve
 of the figure, plus suite averages — the numbers the paper plots.
+
+The figures are :class:`~repro.studies.spec.StudySpec` grids (see
+:mod:`repro.studies.library`); the functions here are thin entry points
+that execute the corresponding study through a runner's memo (figures
+1/3/4/5) or a batched scheduler (the figure 6/7 configuration sweeps).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.results import ComparisonResult, compare
+from repro.experiments.results import ComparisonResult
 from repro.experiments.runner import ControllerSpec, ExperimentRunner
-from repro.pipeline.config import table3_config
 from repro.utils.stats import arithmetic_mean, geometric_mean
-from repro.workloads.suite import BENCHMARK_NAMES
 
 # Paper averages for quick shape checks (EXPERIMENTS.md records the full set).
 PAPER_FIGURE1 = {
@@ -51,71 +54,75 @@ class FigureResult:
         return {label: self.average(label) for label in self.rows}
 
 
+def _run_figure_study(
+    study,
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Execute a mechanism-grid study through a runner's memo."""
+    from repro.studies.spec import StudyContext, run_study
+
+    runner = runner or ExperimentRunner()
+    context = StudyContext(
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        instructions=runner.instructions,
+        warmup=runner.warmup,
+        config=runner.config,
+    )
+    return run_study(study, context, executor=runner).artifact
+
+
 def _run_figure(
     name: str,
     experiments: Dict[str, ControllerSpec],
     runner: Optional[ExperimentRunner] = None,
     benchmarks: Optional[Sequence[str]] = None,
 ) -> FigureResult:
-    runner = runner or ExperimentRunner()
-    benchmarks = list(benchmarks or BENCHMARK_NAMES)
-    figure = FigureResult(name)
-    # Warm the runner's memo in one engine batch: with jobs > 1 every
-    # (benchmark x mechanism) cell of the figure simulates in parallel.
-    requests = [(benchmark, ("baseline",)) for benchmark in benchmarks]
-    requests += [
-        (benchmark, spec)
-        for spec in experiments.values()
-        for benchmark in benchmarks
-    ]
-    runner.prefetch(requests)
-    for label, spec in experiments.items():
-        row: Dict[str, ComparisonResult] = {}
-        for benchmark in benchmarks:
-            baseline = runner.baseline(benchmark)
-            candidate = runner.run(benchmark, spec, label=label)
-            row[benchmark] = compare(baseline, candidate)
-        figure.rows[label] = row
-    return figure
+    """Build and execute an ad-hoc mechanism grid (one-off comparisons)."""
+    from repro.studies.library import grid_study
+
+    return _run_figure_study(grid_study(name, experiments), runner, benchmarks)
 
 
 def figure1(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
     """Oracle fetch / decode / select limit studies (paper Figure 1)."""
-    experiments = {
-        "oracle-fetch": ("oracle", "fetch"),
-        "oracle-decode": ("oracle", "decode"),
-        "oracle-select": ("oracle", "select"),
-    }
-    return _run_figure("figure1", experiments, runner, **kwargs)
+    from repro.studies.library import FIGURE1_EXPERIMENTS
+
+    return _run_figure("figure1", FIGURE1_EXPERIMENTS, runner, **kwargs)
 
 
 def figure3(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
     """Fetch throttling A1-A6 plus Pipeline Gating A7 (paper Figure 3)."""
-    experiments: Dict[str, ControllerSpec] = {
-        name: ("throttle", name) for name in ("A1", "A2", "A3", "A4", "A5", "A6")
-    }
-    experiments["A7"] = ("gating", 2)
-    return _run_figure("figure3", experiments, runner, **kwargs)
+    from repro.studies.library import FIGURE3_EXPERIMENTS
+
+    return _run_figure("figure3", FIGURE3_EXPERIMENTS, runner, **kwargs)
 
 
 def figure4(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
     """Decode throttling B1-B8 plus Pipeline Gating B9 (paper Figure 4)."""
-    experiments: Dict[str, ControllerSpec] = {
-        name: ("throttle", name)
-        for name in ("B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8")
-    }
-    experiments["B9"] = ("gating", 2)
-    return _run_figure("figure4", experiments, runner, **kwargs)
+    from repro.studies.library import FIGURE4_EXPERIMENTS
+
+    return _run_figure("figure4", FIGURE4_EXPERIMENTS, runner, **kwargs)
 
 
 def figure5(runner: Optional[ExperimentRunner] = None, **kwargs) -> FigureResult:
     """Selection throttling C1-C6 plus Pipeline Gating C7 (paper Figure 5)."""
-    experiments: Dict[str, ControllerSpec] = {
-        name: ("throttle", name)
-        for name in ("C1", "C2", "C3", "C4", "C5", "C6")
-    }
-    experiments["C7"] = ("gating", 2)
-    return _run_figure("figure5", experiments, runner, **kwargs)
+    from repro.studies.library import FIGURE5_EXPERIMENTS
+
+    return _run_figure("figure5", FIGURE5_EXPERIMENTS, runner, **kwargs)
+
+
+def _run_config_sweep(study, instructions, benchmarks, jobs, cache):
+    """Execute a figure 6/7 sweep study in one batched scheduler pass."""
+    from repro.experiments.scheduler import SweepScheduler
+    from repro.studies.spec import StudyContext, run_study
+
+    context = StudyContext(
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        instructions=instructions,
+    )
+    scheduler = SweepScheduler(jobs=jobs, cache=cache)
+    return run_study(study, context, executor=scheduler).artifact
 
 
 def figure6(
@@ -128,19 +135,14 @@ def figure6(
     """Pipeline-depth sweep of the best experiment C2 (paper Figure 6).
 
     Returns ``depth -> suite-average metrics of C2 vs the same-depth
-    baseline``.
+    baseline``.  All depths compile into one study plan, so ``jobs`` > 1
+    parallelises across the whole sweep, not within one depth.
     """
-    results: Dict[int, Dict[str, float]] = {}
-    for depth in depths:
-        config = table3_config().with_depth(depth)
-        runner = ExperimentRunner(
-            config=config, instructions=instructions, jobs=jobs, cache=cache
-        )
-        figure = _run_figure(
-            f"figure6-depth{depth}", {"C2": ("throttle", "C2")}, runner, benchmarks
-        )
-        results[depth] = figure.average("C2")
-    return results
+    from repro.studies.library import depth_sweep_study
+
+    return _run_config_sweep(
+        depth_sweep_study(depths), instructions, benchmarks, jobs, cache
+    )
 
 
 def figure7(
@@ -156,17 +158,12 @@ def figure7(
     BPRU estimator, comparing against a baseline whose gshare gets the same
     predictor half (the paper compares equal total sizes).
     """
-    results: Dict[int, Dict[str, float]] = {}
-    for total_kb in total_sizes_kb:
-        config = table3_config().with_table_sizes(total_kb)
-        runner = ExperimentRunner(
-            config=config, instructions=instructions, jobs=jobs, cache=cache
-        )
-        figure = _run_figure(
-            f"figure7-size{total_kb}", {"C2": ("throttle", "C2")}, runner, benchmarks
-        )
-        results[total_kb] = figure.average("C2")
-    return results
+    from repro.studies.library import table_size_sweep_study
+
+    return _run_config_sweep(
+        table_size_sweep_study(total_sizes_kb), instructions, benchmarks,
+        jobs, cache,
+    )
 
 
 def format_figure(figure: FigureResult) -> str:

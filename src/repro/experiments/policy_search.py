@@ -19,18 +19,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.levels import BandwidthLevel
 from repro.core.policy import ThrottleAction, ThrottlePolicy
-from repro.core.throttler import SelectiveThrottler
 from repro.errors import ExperimentError
 from repro.experiments.results import SimulationResult, compare
-from repro.experiments.runner import run_benchmark
-from repro.pipeline.config import ProcessorConfig, table3_config
-from repro.pipeline.processor import Processor
+from repro.pipeline.config import ProcessorConfig
 from repro.utils.stats import arithmetic_mean
-from repro.workloads.suite import benchmark_spec
 
 _BANDWIDTHS = (
     BandwidthLevel.FULL,
@@ -120,50 +116,34 @@ def evaluate_policy(
     config: Optional[ProcessorConfig] = None,
     baselines: Optional[Dict[str, SimulationResult]] = None,
 ) -> PolicyPoint:
-    """Suite-average metrics of one policy against memoised baselines."""
-    from dataclasses import replace as dc_replace
+    """Suite-average metrics of one policy against memoised baselines.
 
-    config = config or table3_config()
-    if config.confidence_kind != "bpru":
-        config = dc_replace(config, confidence_kind="bpru")
+    Cells are built through the engine's vocabulary (policies serialise
+    via :func:`~repro.experiments.engine.policy_spec`) and simulate
+    in-process, sharing the per-process program memo; ``baselines`` is
+    an optional cross-call memo for the baseline runs.  For pool- and
+    cache-backed evaluation of many policies use :func:`search_policies`,
+    which batches the whole set through the sweep scheduler.
+    """
+    from repro.experiments.engine import make_cell, policy_spec, simulate
+    from repro.studies.library import _bpru_config
+
+    config = _bpru_config(config)
     rows = []
     for name in benchmarks:
         if baselines is not None and name in baselines:
             baseline = baselines[name]
         else:
-            baseline = run_benchmark(
+            baseline = simulate(make_cell(
                 name, ("baseline",), config=config,
                 instructions=instructions, warmup=warmup,
-            )
+            ))
             if baselines is not None:
                 baselines[name] = baseline
-        spec = benchmark_spec(name)
-        processor = Processor(
-            config,
-            spec.build_program(),
-            controller=SelectiveThrottler(policy),
-            seed=spec.seed,
-        )
-        stats = processor.run(instructions, warmup_instructions=warmup)
-        power = processor.power
-        total = power.total_energy()
-        candidate = SimulationResult(
-            benchmark=name,
-            label=policy.name,
-            instructions=stats.committed,
-            cycles=stats.cycles,
-            ipc=stats.ipc,
-            average_power_watts=power.average_power(),
-            energy_joules=total,
-            execution_seconds=power.execution_seconds(),
-            miss_rate=stats.branch_miss_rate,
-            spec_metric=stats.confidence.spec(),
-            pvn_metric=stats.confidence.pvn(),
-            wrong_path_fetch_fraction=stats.wrong_path_fetch_fraction,
-            wasted_energy_fraction=(
-                power.total_wasted_energy() / total if total else 0.0
-            ),
-        )
+        candidate = simulate(make_cell(
+            name, policy_spec(policy), config=config,
+            instructions=instructions, warmup=warmup,
+        ))
         comparison = compare(baseline, candidate)
         rows.append((comparison, _ed2_improvement(baseline, candidate)))
     return PolicyPoint(
@@ -195,18 +175,34 @@ def search_policies(
     warmup: Optional[int] = None,
     policies: Optional[Sequence[ThrottlePolicy]] = None,
     config: Optional[ProcessorConfig] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PolicyPoint]:
-    """Evaluate a policy set (default: the fetch-only subspace) everywhere."""
+    """Evaluate a policy set (default: the fetch-only subspace) everywhere.
+
+    The whole search compiles to one study plan — every (policy ×
+    benchmark) cell plus the shared baselines — and runs through a
+    batched :class:`~repro.experiments.scheduler.SweepScheduler`
+    (``jobs`` > 1 parallelises across the policy space).
+    """
+    from repro.experiments.scheduler import SweepScheduler
+    from repro.studies.library import policy_study
+    from repro.studies.spec import StudyContext, run_study
+
     warmup = instructions // 3 if warmup is None else warmup
     if policies is None:
         policies = enumerate_policies(include_decode=False)
-    baselines: Dict[str, SimulationResult] = {}
-    return [
-        evaluate_policy(
-            policy, benchmarks, instructions, warmup, config, baselines
-        )
-        for policy in policies
-    ]
+    context = StudyContext(
+        benchmarks=tuple(benchmarks),
+        instructions=instructions,
+        warmup=warmup,
+        config=config,
+    )
+    scheduler = SweepScheduler(jobs=jobs, cache=cache)
+    return run_study(
+        policy_study(policies, benchmarks=benchmarks), context,
+        executor=scheduler,
+    ).artifact
 
 
 def format_points(points: Sequence[PolicyPoint], limit: int = 30) -> str:

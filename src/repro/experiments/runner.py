@@ -28,7 +28,7 @@ higher-fidelity (slower) reproductions.
 from __future__ import annotations
 
 from dataclasses import replace as dc_replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.engine import (
     ControllerSpec,
@@ -127,10 +127,61 @@ class ExperimentRunner:
             label=label,
         )
 
-    def _key(self, cell: SimCell) -> Tuple:
-        return (cell.benchmark, cell.controller_spec, _config_key(cell.config),
-                cell.instructions, cell.warmup, cell.effective_seed,
-                cell.clock_gating)
+    def _key(self, cell) -> Tuple:
+        if isinstance(cell, SimCell):
+            return (cell.benchmark, cell.controller_spec,
+                    _config_key(cell.config), cell.instructions, cell.warmup,
+                    cell.effective_seed, cell.clock_gating)
+        # Other cell kinds (SmtCell) memoise on their content address.
+        from repro.experiments.engine import fingerprint_of
+
+        return ("fingerprint", fingerprint_of(cell))
+
+    def run_cells(self, cells: Sequence) -> List:
+        """Run a batch of cells: memo first, then one engine batch.
+
+        This is the executor protocol study plans run through (shared
+        with :class:`~repro.experiments.scheduler.SweepScheduler`).
+        Batches may mix cell kinds — :class:`SimCell` and ``SmtCell``
+        share the memo and the engine.  The memo always holds the
+        default-labelled result of a cell; custom display labels are
+        applied to copies on the way out, so a relabelled request can
+        never corrupt later lookups.
+        """
+        out: List = [None] * len(cells)
+        pending: List[Tuple[int, object]] = []
+        for index, cell in enumerate(cells):
+            hit = self._cache.get(self._key(cell))
+            if hit is not None:
+                out[index] = self._labelled(hit, cell)
+            else:
+                pending.append((index, cell))
+        if pending:
+            fresh = self.engine.run([cell for _, cell in pending])
+            for (index, cell), result in zip(pending, fresh):
+                self._cache[self._key(cell)] = self._default_labelled(
+                    result, cell
+                )
+                out[index] = result
+        return out
+
+    @staticmethod
+    def _labelled(result, cell):
+        """A memo hit, under the requesting cell's display label."""
+        label = getattr(cell, "effective_label", None)
+        if label is None or getattr(result, "label", label) == label:
+            return result
+        return replace_label(result, label)
+
+    @staticmethod
+    def _default_labelled(result, cell):
+        """The memo-stored form: always the cell's default label."""
+        if not isinstance(cell, SimCell):
+            return result
+        default = label_of(cell.controller_spec)
+        return result if result.label == default else replace_label(
+            result, default
+        )
 
     def run(
         self,
@@ -140,15 +191,8 @@ class ExperimentRunner:
         label: Optional[str] = None,
     ) -> SimulationResult:
         """Run one simulation (memoised on its full fingerprint)."""
-        # The memo always holds the default-labelled result; custom labels
-        # are applied to copies so they never leak into later lookups.
-        cell = self._cell(benchmark, controller_spec, config)
-        key = self._key(cell)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self.engine.run_cell(cell)
-            self._cache[key] = cached
-        return cached if label is None else replace_label(cached, label)
+        cell = self._cell(benchmark, controller_spec, config, label=label)
+        return self.run_cells([cell])[0]
 
     def prefetch(
         self,
@@ -162,21 +206,7 @@ class ExperimentRunner:
         subsequent :meth:`run` calls on the same cells are free.  Results
         come back in request order.
         """
-        cells = [self._cell(b, spec, config) for b, spec in requests]
-        out: List[Optional[SimulationResult]] = [None] * len(cells)
-        pending: List[Tuple[int, SimCell]] = []
-        for index, cell in enumerate(cells):
-            hit = self._cache.get(self._key(cell))
-            if hit is not None:
-                out[index] = hit
-            else:
-                pending.append((index, cell))
-        if pending:
-            fresh = self.engine.run([cell for _, cell in pending])
-            for (index, cell), result in zip(pending, fresh):
-                self._cache[self._key(cell)] = result
-                out[index] = result
-        return out  # type: ignore[return-value]
+        return self.run_cells([self._cell(b, spec, config) for b, spec in requests])
 
     def baseline(self, benchmark: str, config: Optional[ProcessorConfig] = None):
         """The memoised baseline run of a benchmark."""

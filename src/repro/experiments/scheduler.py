@@ -1,0 +1,271 @@
+"""Batched, streaming sweep scheduling — the engine's fan-out layer.
+
+Every experiment driver compiles to a flat list of cells
+(:class:`~repro.experiments.engine.SimCell` /
+:class:`~repro.experiments.engine.SmtCell`) and hands it to a
+:class:`SweepScheduler`.  The scheduler owns three scaling decisions the
+drivers used to hand-roll (or not make at all):
+
+* **Affinity batching.**  Cells are grouped by ``(kind, benchmark, seed)``
+  and packed into per-worker batches, so every cell that simulates the
+  same generated program lands in the same worker process — the
+  per-process program memo and the compiled-supply tables cached on the
+  ``Program`` actually hit.  The old per-cell ``pool.map`` scattered the
+  eight mechanisms of a figure row across eight workers, and each one
+  regenerated (and re-lowered) the same program.
+
+* **Ordered streaming.**  :meth:`SweepScheduler.stream` yields
+  ``(index, result)`` pairs in submission order *as batches complete*:
+  a consumer can render partial progress while later batches still run,
+  and the final sequence is byte-identical to a serial run (each cell is
+  deterministic and independent; delivery order is fixed by buffering
+  out-of-order completions).
+
+* **One warm pool.**  Parallel batches run on a module-level shared
+  :class:`~concurrent.futures.ProcessPoolExecutor` that survives across
+  scheduler calls, so a multi-study run pays process start-up (and
+  re-warms worker memos) once instead of once per driver call.
+
+The scheduler also deduplicates identical cells within a call (same
+content fingerprint → one simulation, display labels reapplied per
+request) and consults/fills the optional on-disk
+:class:`~repro.experiments.engine.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+# ----------------------------------------------------------------------
+# The shared worker pool
+# ----------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process pool shared by every scheduler in this interpreter.
+
+    Reused across calls (and across studies) while the worker count is
+    unchanged; resized by replacing the pool when a caller asks for a
+    different ``workers``.  Worker processes keep their per-process
+    program memo between batches, which is where the warm-pool win on
+    short-cell suites comes from.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS != workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (atexit, and tests that count workers)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_shared_pool)
+
+
+def execute_batch(cells: List) -> List:
+    """Process-pool work function: simulate a batch of cells in order."""
+    # Imported lazily: engine.py imports this module.
+    from repro.experiments.engine import execute_cell
+
+    return [execute_cell(cell) for cell in cells]
+
+
+# ----------------------------------------------------------------------
+# Affinity batching
+# ----------------------------------------------------------------------
+
+def affinity_key(cell) -> Tuple:
+    """The grouping key of a cell: cells sharing it simulate one program.
+
+    ``(cell kind, benchmark-or-mix, effective seed)`` — exactly the key of
+    the per-process program memo, so batching by it turns N generations of
+    the same program into one per batch.
+    """
+    workload = getattr(cell, "benchmark", None) or getattr(cell, "mix", "")
+    return (type(cell).__name__, workload, cell.effective_seed)
+
+
+def plan_batches(
+    pending: Sequence[Tuple[int, object]],
+    jobs: int,
+    batch_cells: Optional[int] = None,
+) -> List[List[Tuple[int, object]]]:
+    """Pack ``(index, cell)`` pairs into affinity-preserving batches.
+
+    Cells are grouped by :func:`affinity_key` (first-appearance order, so
+    the plan is deterministic), then groups are packed whole into batches
+    of about ``batch_cells`` cells (default: enough for ~2 batches per
+    worker, which balances load without splitting many groups).  A group
+    larger than the batch size is split — affinity is a throughput hint,
+    never a correctness requirement.
+    """
+    if not pending:
+        return []
+    groups: Dict[Tuple, List[Tuple[int, object]]] = {}
+    order: List[Tuple] = []
+    for index, cell in pending:
+        key = affinity_key(cell)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((index, cell))
+
+    if batch_cells is None:
+        target = max(1, -(-len(pending) // max(1, jobs * 2)))
+    else:
+        target = max(1, batch_cells)
+
+    batches: List[List[Tuple[int, object]]] = []
+    current: List[Tuple[int, object]] = []
+    for key in order:
+        members = groups[key]
+        for start in range(0, len(members), target):
+            chunk = members[start:start + target]
+            if current and len(current) + len(chunk) > target:
+                batches.append(current)
+                current = []
+            current.extend(chunk)
+    if current:
+        batches.append(current)
+    return batches
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+
+class SweepScheduler:
+    """Runs flat cell lists: cached, deduplicated, batched, streamed.
+
+    ``jobs`` > 1 fans affinity batches out over the shared process pool;
+    ``jobs`` = 1 executes the same batch plan inline (so batching itself
+    is exercised either way, and parallel output is byte-identical to
+    serial).  ``batch_cells`` overrides the automatic batch size — mostly
+    for tests and the batching benchmark.
+
+    ``executed`` counts actual simulations (cache hits and in-call
+    duplicates excluded); ``batches_dispatched`` counts scheduled batches.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        batch_cells: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.batch_cells = batch_cells
+        self.executed = 0
+        self.batches_dispatched = 0
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, cells: Sequence) -> List:
+        """Simulate every cell, returning results in submission order."""
+        cells = list(cells)
+        out: List = [None] * len(cells)
+        for index, result in self.stream(cells):
+            out[index] = result
+        return out
+
+    # The executor protocol shared with ExperimentRunner / ExecutionEngine.
+    run_cells = run
+
+    def stream(self, cells: Iterable) -> Iterator[Tuple[int, object]]:
+        """Yield ``(index, result)`` in submission order as work completes.
+
+        Cache hits stream immediately (once every earlier index has been
+        delivered); uncached cells execute in affinity batches, and each
+        completed batch releases the longest ready prefix.
+        """
+        from repro.experiments.engine import fingerprint_of
+
+        cells = list(cells)
+        total = len(cells)
+        ready: Dict[int, object] = {}
+        owners: Dict[str, int] = {}
+        followers: Dict[int, List[int]] = {}
+        pending: List[Tuple[int, object]] = []
+        for index, cell in enumerate(cells):
+            cached = self.cache.get(cell) if self.cache else None
+            if cached is not None:
+                ready[index] = cached
+                continue
+            fingerprint = fingerprint_of(cell)
+            owner = owners.get(fingerprint)
+            if owner is None:
+                owners[fingerprint] = index
+                pending.append((index, cell))
+            else:
+                followers.setdefault(owner, []).append(index)
+
+        emit = 0
+
+        def flush():
+            nonlocal emit
+            while emit < total and emit in ready:
+                yield emit, ready.pop(emit)
+                emit += 1
+
+        def settle(index: int, cell, result) -> None:
+            self.executed += 1
+            if self.cache is not None:
+                self.cache.put(cell, result)
+            ready[index] = result
+            for follower in followers.get(index, ()):
+                ready[follower] = _relabelled(result, cells[follower])
+
+        batches = plan_batches(pending, self.jobs, self.batch_cells)
+        if self.jobs > 1 and len(batches) > 1:
+            pool = shared_pool(self.jobs)
+            future_map = {
+                pool.submit(execute_batch, [cell for _, cell in batch]): batch
+                for batch in batches
+            }
+            self.batches_dispatched += len(batches)
+            outstanding = set(future_map)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    batch = future_map[future]
+                    for (index, cell), result in zip(batch, future.result()):
+                        settle(index, cell, result)
+                yield from flush()
+        else:
+            from repro.experiments.engine import execute_cell
+
+            for batch in batches:
+                self.batches_dispatched += 1
+                for index, cell in batch:
+                    settle(index, cell, execute_cell(cell))
+                yield from flush()
+        yield from flush()
+
+
+def _relabelled(result, cell):
+    """A duplicate cell's copy of a result, under its own display label."""
+    label = getattr(cell, "effective_label", None)
+    if label is not None and getattr(result, "label", label) != label:
+        from dataclasses import replace
+
+        return replace(result, label=label)
+    return result

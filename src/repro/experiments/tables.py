@@ -13,8 +13,6 @@ from typing import Dict, List, Optional
 
 from repro.experiments.runner import ExperimentRunner
 from repro.pipeline.config import ProcessorConfig, table3_config
-from repro.power.units import TABLE1_SHARES, PowerUnit
-from repro.utils.stats import arithmetic_mean
 from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
 
 # Paper Table 1, column "% of overall power wasted by mis-speculated instr."
@@ -38,28 +36,20 @@ def table1(runner: Optional[ExperimentRunner] = None) -> Dict[str, Dict[str, flo
     """Measure the Table-1 breakdown over the baseline suite.
 
     Returns ``unit -> {share, wasted, paper_share, paper_wasted}`` plus a
-    ``total`` row with overall watts and the total wasted fraction.
+    ``total`` row with overall watts and the total wasted fraction.  The
+    baseline batch runs as the registered ``table1`` study through the
+    runner's memo and the batched scheduler beneath it.
     """
+    from repro.studies.library import table1_study
+    from repro.studies.spec import StudyContext, run_study
+
     runner = runner or ExperimentRunner()
-    results = [runner.baseline(name) for name in BENCHMARK_NAMES]
-    rows: Dict[str, Dict[str, float]] = {}
-    for unit in PowerUnit:
-        key = unit.name.lower()
-        rows[key] = {
-            "share": arithmetic_mean(r.breakdown[key]["share"] for r in results),
-            "wasted": arithmetic_mean(
-                r.breakdown[key]["wasted_of_overall"] for r in results
-            ),
-            "paper_share": TABLE1_SHARES[unit],
-            "paper_wasted": TABLE1_WASTED[key],
-        }
-    rows["total"] = {
-        "watts": arithmetic_mean(r.average_power_watts for r in results),
-        "paper_watts": 56.4,
-        "wasted": arithmetic_mean(r.wasted_energy_fraction for r in results),
-        "paper_wasted": TABLE1_TOTAL_WASTED,
-    }
-    return rows
+    context = StudyContext(
+        instructions=runner.instructions,
+        warmup=runner.warmup,
+        config=runner.config,
+    )
+    return run_study(table1_study(), context, executor=runner).artifact
 
 
 def format_table1(rows: Dict[str, Dict[str, float]]) -> str:

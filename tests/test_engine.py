@@ -207,6 +207,41 @@ def test_changed_config_field_invalidates_cache_entry(tmp_path, throttled_result
     assert cache.misses == 1
 
 
+# --- custom-policy controller specs ------------------------------------------
+
+def test_policy_spec_round_trips_all_four_levels():
+    from repro.confidence.base import ConfidenceLevel
+    from repro.core.levels import BandwidthLevel
+    from repro.core.policy import ThrottleAction, ThrottlePolicy
+    from repro.experiments.engine import policy_from_spec, policy_spec
+
+    policy = ThrottlePolicy(
+        "custom",
+        lc=ThrottleAction(BandwidthLevel.QUARTER, no_select=True),
+        vlc=ThrottleAction(BandwidthLevel.STALL, BandwidthLevel.STALL, True),
+        hc=ThrottleAction(BandwidthLevel.HALF),
+        vhc=ThrottleAction(decode=BandwidthLevel.HALF),
+    )
+    rebuilt = policy_from_spec(policy_spec(policy))
+    assert rebuilt.name == "custom"
+    for level in ConfidenceLevel:
+        original = policy.action_for(level)
+        copy = rebuilt.action_for(level)
+        assert (copy.fetch, copy.decode, copy.no_select) == (
+            original.fetch, original.decode, original.no_select
+        ), level
+
+
+def test_policy_spec_cells_run_through_the_engine():
+    from repro.core.policy import experiment_policy
+    from repro.experiments.engine import policy_spec
+
+    spec = policy_spec(experiment_policy("A5"))
+    via_policy = simulate(_cell(controller_spec=spec))
+    named = simulate(_cell())  # ("throttle", "A5") on the same cell
+    assert via_policy == named  # same policy, same label, same simulation
+
+
 # --- the engine --------------------------------------------------------------
 
 def test_engine_preserves_submission_order():
