@@ -1,0 +1,66 @@
+"""Baseline (suppression) files for ``repro check``.
+
+A baseline is a JSON file holding the :attr:`Violation.baseline_key`
+strings of accepted findings.  Keys omit line numbers (see
+:mod:`repro.analysis.registry`), so unrelated edits to a file do not
+churn the baseline.  Keys that no longer match any finding are reported
+as stale so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.registry import Violation
+
+_SCHEMA = "repro-check-baseline/1"
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The suppression keys stored in ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"{path} is not a repro-check baseline (expected schema "
+            f"{_SCHEMA!r})"
+        )
+    suppressions = payload.get("suppressions", [])
+    if not isinstance(suppressions, list) or not all(
+        isinstance(key, str) for key in suppressions
+    ):
+        raise ValueError(f"{path}: 'suppressions' must be a list of strings")
+    return set(suppressions)
+
+
+def write_baseline(path: str, violations: Iterable[Violation]) -> int:
+    """Write a baseline accepting every given violation; returns the count."""
+    keys = sorted({violation.baseline_key for violation in violations})
+    payload = {
+        "schema": _SCHEMA,
+        "comment": (
+            "Accepted repro-check findings. Regenerate with "
+            "'repro check --write-baseline <path>'."
+        ),
+        "suppressions": keys,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(keys)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], suppressions: Set[str]
+) -> Tuple[List[Violation], int, List[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(unsuppressed, suppressed_count, stale_keys)`` where
+    ``stale_keys`` are baseline entries matching no current finding.
+    """
+    current = {violation.baseline_key for violation in violations}
+    kept = [v for v in violations if v.baseline_key not in suppressions]
+    suppressed = len(violations) - len(kept)
+    stale = sorted(suppressions - current)
+    return kept, suppressed, stale

@@ -1,0 +1,262 @@
+"""Determinism rules: the bit-exact-reproducibility contract.
+
+Every golden fingerprint, cache hit and batched==serial scheduling
+guarantee in this repository assumes a simulation result is a pure
+function of its cell.  These rules flag the three ways Python code
+silently breaks that:
+
+* ``DET001`` — wall-clock reads (``time.time``, ``datetime.now``, ...).
+  The cache-maintenance paths in ``experiments/engine.py`` legitimately
+  timestamp entries for pruning; they are allowlisted by symbol.
+* ``DET002`` — process entropy: ``os.urandom``, ``uuid.uuid4``,
+  ``secrets``, and draws from the *module-level* ``random`` generator
+  (seeded ``random.Random(seed)`` instances are the sanctioned source).
+* ``DET003`` — iteration over ``set``/``frozenset`` values in an
+  order-sensitive position (``for``, comprehensions, ``list``/``tuple``/
+  ``enumerate``/``join``).  Set order depends on ``PYTHONHASHSEED`` for
+  string keys; ``dict`` iteration is insertion-ordered and therefore
+  deterministic, so dicts are not flagged.  Wrapping in ``sorted()``
+  suppresses the finding; order-insensitive reductions (``len``,
+  ``sum``, ``min``, ``max``, ``any``, ``all``, membership) are never
+  flagged.
+
+Scope: modules reachable from the experiment engine and the stage
+kernel (anything that can touch a simulation result), plus the study
+and report layers, whose rendered output must be equally reproducible.
+When none of the roots exist in the index — a synthetic fixture tree in
+the self-tests — every module is in scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.registry import Violation, rule
+from repro.analysis.walker import (
+    ModuleInfo,
+    ProjectIndex,
+    enclosing_symbol,
+    resolve_call_target,
+)
+
+DET_ROOTS = ("repro.experiments.engine", "repro.pipeline.stages.scheduler")
+EXTRA_SCOPE_PREFIXES = ("repro.studies", "repro.report")
+
+WALL_CLOCK_TARGETS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+# Cache maintenance legitimately timestamps entries (age-based pruning);
+# the timestamps never reach a simulation result or a fingerprint.
+WALL_CLOCK_ALLOWLIST = frozenset({
+    ("repro/experiments/engine.py", "ResultCache.info"),
+    ("repro/experiments/engine.py", "ResultCache.prune"),
+})
+
+ENTROPY_TARGETS = frozenset({
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+# Draws from the module-level (shared, implicitly-seeded) generator.
+GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+})
+
+# Order-sensitive consumers of an iterable.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+def scoped_modules(index: ProjectIndex) -> List[ModuleInfo]:
+    """The modules the determinism contract covers (see module docstring)."""
+    if not any(root in index.by_name for root in DET_ROOTS):
+        return list(index.modules)
+    names = index.reachable_from(DET_ROOTS)
+    for info in index.modules:
+        if info.name.startswith(EXTRA_SCOPE_PREFIXES):
+            names.add(info.name)
+    return [info for info in index.modules if info.name in names]
+
+
+@rule("DET001", "no wall-clock reads in simulation-reachable code")
+def check_wall_clock(index: ProjectIndex) -> List[Violation]:
+    violations: List[Violation] = []
+    for info in scoped_modules(index):
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(info, node)
+            if target not in WALL_CLOCK_TARGETS:
+                continue
+            symbol = enclosing_symbol(info.tree, node)
+            if (info.path, symbol) in WALL_CLOCK_ALLOWLIST:
+                continue
+            violations.append(Violation(
+                rule="DET001", path=info.path, line=node.lineno,
+                symbol=symbol,
+                message=(
+                    f"call to {target}() reads the wall clock; simulation"
+                    "-reachable code must be a pure function of its inputs"
+                ),
+            ))
+    return violations
+
+
+@rule("DET002", "no process entropy or module-level random draws")
+def check_entropy(index: ProjectIndex) -> List[Violation]:
+    violations: List[Violation] = []
+    for info in scoped_modules(index):
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(info, node)
+            if target is None:
+                continue
+            message: Optional[str] = None
+            if target in ENTROPY_TARGETS or target.startswith("secrets."):
+                message = f"call to {target}() draws OS entropy"
+            elif (
+                target.startswith("random.")
+                and target.split(".", 1)[1] in GLOBAL_RANDOM_FUNCS
+            ):
+                message = (
+                    f"{target}() draws from the shared module-level "
+                    "generator; use a seeded random.Random instance"
+                )
+            elif target == "random.Random" and not node.args and not node.keywords:
+                message = (
+                    "random.Random() without a seed is entropy-seeded; "
+                    "pass an explicit seed"
+                )
+            if message is not None:
+                violations.append(Violation(
+                    rule="DET002", path=info.path, line=node.lineno,
+                    symbol=enclosing_symbol(info.tree, node),
+                    message=message,
+                ))
+    return violations
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str], info: ModuleInfo) -> bool:
+    """True when ``node`` provably evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.Call):
+        target = resolve_call_target(info, node)
+        if target in ("set", "frozenset"):
+            return True
+        # set-returning methods of a known set
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("union", "intersection", "difference",
+                                   "symmetric_difference", "copy")
+            and _is_set_expr(node.func.value, set_names, info)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return (
+            _is_set_expr(node.left, set_names, info)
+            or _is_set_expr(node.right, set_names, info)
+        )
+    return False
+
+
+def _scope_bodies(tree: ast.Module):
+    """Yield every lexical scope's list of statements (module + functions)."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _walk_scope(stmts):
+    """Walk statements without descending into nested function scopes."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            yield from _walk_node(child)
+
+
+def _walk_node(node):
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_node(child)
+
+
+@rule("DET003", "no order-sensitive iteration over sets")
+def check_set_iteration(index: ProjectIndex) -> List[Violation]:
+    violations: List[Violation] = []
+    for info in scoped_modules(index):
+        for body in _scope_bodies(info.tree):
+            set_names: Set[str] = set()
+            # First pass: names bound to provable set expressions.
+            for node in _walk_scope(body):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        if _is_set_expr(node.value, set_names, info):
+                            set_names.add(target.id)
+                        elif target.id in set_names:
+                            set_names.discard(target.id)
+            if not set_names and not any(
+                isinstance(n, (ast.Set, ast.SetComp))
+                or (isinstance(n, ast.Call)
+                    and resolve_call_target(info, n) in ("set", "frozenset"))
+                for n in _walk_scope(body)
+            ):
+                continue
+            # Second pass: order-sensitive consumption.
+            for node in _walk_scope(body):
+                site = None
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if _is_set_expr(node.iter, set_names, info):
+                        site = node.iter
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if _is_set_expr(gen.iter, set_names, info):
+                            site = gen.iter
+                            break
+                elif isinstance(node, ast.Call):
+                    target = resolve_call_target(info, node)
+                    if (
+                        target in _ORDER_SENSITIVE_CALLS
+                        and node.args
+                        and _is_set_expr(node.args[0], set_names, info)
+                    ):
+                        site = node.args[0]
+                    elif (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "join"
+                        and node.args
+                        and _is_set_expr(node.args[0], set_names, info)
+                    ):
+                        site = node.args[0]
+                if site is not None:
+                    violations.append(Violation(
+                        rule="DET003", path=info.path, line=node.lineno,
+                        symbol=enclosing_symbol(info.tree, node),
+                        message=(
+                            "iteration over a set is hash-ordered "
+                            "(PYTHONHASHSEED-dependent); wrap it in "
+                            "sorted() or use an ordered container"
+                        ),
+                    ))
+    return violations

@@ -1,0 +1,59 @@
+"""Rendering for ``repro check`` results (text and JSON)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.registry import ALL_RULES, Violation
+
+JSON_SCHEMA = "repro-check/1"
+
+
+def render_text(
+    violations: Sequence[Violation],
+    suppressed: int = 0,
+    stale: Sequence[str] = (),
+) -> str:
+    """Human-readable report, one finding per line, grep-friendly."""
+    lines: List[str] = [violation.render() for violation in violations]
+    if stale:
+        lines.append("")
+        lines.append(f"stale baseline entries ({len(stale)}):")
+        lines.extend(f"  {key}" for key in stale)
+    lines.append("")
+    summary = f"{len(violations)} violation(s)"
+    if suppressed:
+        summary += f", {suppressed} suppressed by baseline"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation],
+    suppressed: int = 0,
+    stale: Sequence[str] = (),
+) -> Dict:
+    """Machine-readable report (stable schema for CI tooling)."""
+    return {
+        "schema": JSON_SCHEMA,
+        "rules": [
+            {"id": rule.rule_id, "description": rule.description}
+            for rule in ALL_RULES
+        ],
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "symbol": violation.symbol,
+                "message": violation.message,
+                "baseline_key": violation.baseline_key,
+            }
+            for violation in violations
+        ],
+        "count": len(violations),
+        "suppressed": suppressed,
+        "stale_baseline_keys": list(stale),
+    }

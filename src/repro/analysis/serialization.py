@@ -1,0 +1,135 @@
+"""Pool/cache serialization safety (``SER001``).
+
+Controller specs cross two boundaries that silently corrupt anything
+fancier than nested tuples of constants: they are pickled into
+process-pool workers by the sweep scheduler, and they are JSON-encoded
+into cache fingerprints by the result cache.  The sanctioned grammar
+(what :func:`repro.experiments.engine.make_controller` accepts) is::
+
+    spec := (kind, const...)            # kind one of VALID_SPEC_KINDS
+    const := str | int | float | bool | None | (const...)
+
+This rule inspects every *literal* controller spec in the tree — tuple
+literals passed as a ``controller_spec=`` keyword or bound to a
+``*_spec``/``*_SPEC`` name — and flags unknown spec kinds and elements
+that provably fall outside the grammar (lambdas, dicts, sets, lists,
+comprehensions, function calls).  Elements that are plain name or
+attribute references are assumed to hold conforming values; only
+provable violations fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.registry import Violation, rule
+from repro.analysis.walker import ProjectIndex, enclosing_symbol
+
+# The heads make_controller dispatches on.
+VALID_SPEC_KINDS = frozenset({
+    "baseline", "throttle", "throttle-noescalate", "policy", "gating",
+    "oracle",
+})
+
+_UNPICKLABLE = (
+    ast.Lambda, ast.Dict, ast.Set, ast.List, ast.ListComp, ast.SetComp,
+    ast.DictComp, ast.GeneratorExp,
+)
+
+
+def _element_problem(node: ast.AST) -> Optional[str]:
+    """Why ``node`` cannot appear in a spec tuple, or None if it may."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or isinstance(node.value, (str, int, float, bool)):
+            return None
+        return f"constant of type {type(node.value).__name__}"
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            problem = _element_problem(element)
+            if problem is not None:
+                return problem
+        return None
+    if isinstance(node, ast.Lambda):
+        return "a lambda (unpicklable, unfingerprintable)"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "a dict (spec grammar is nested tuples of constants)"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set (unordered; breaks fingerprint stability)"
+    if isinstance(node, (ast.List, ast.ListComp, ast.GeneratorExp)):
+        return "a list/generator (spec grammar is nested tuples)"
+    if isinstance(node, ast.Call):
+        return "a call result (specs must be data, not objects)"
+    # Names, attributes, unary minus on constants, etc.: not provable.
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+        return None
+    return None
+
+
+def _check_spec_tuple(
+    info, node: ast.Tuple, violations: List[Violation]
+) -> None:
+    if not node.elts:
+        return
+    head = node.elts[0]
+    symbol = enclosing_symbol(info.tree, node)
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        if head.value not in VALID_SPEC_KINDS:
+            violations.append(Violation(
+                rule="SER001", path=info.path, line=node.lineno,
+                symbol=symbol,
+                message=(
+                    f"unknown controller-spec kind {head.value!r}; "
+                    "make_controller accepts: "
+                    + ", ".join(sorted(VALID_SPEC_KINDS))
+                ),
+            ))
+            return
+    elif isinstance(head, _UNPICKLABLE):
+        pass  # fall through to the element scan below
+    else:
+        return  # dynamic head: not a literal spec we can check
+    for element in node.elts:
+        problem = _element_problem(element)
+        if problem is not None:
+            violations.append(Violation(
+                rule="SER001", path=info.path, line=element.lineno,
+                symbol=symbol,
+                message=(
+                    f"controller spec element is {problem}; specs are "
+                    "pickled to pool workers and JSON-fingerprinted, so "
+                    "they must bottom out in tuples of str/int/float/"
+                    "bool/None"
+                ),
+            ))
+
+
+def _looks_like_spec_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered.endswith("_spec") or lowered == "spec"
+
+
+@rule("SER001", "literal controller specs stay inside the picklable grammar")
+def check_controller_specs(index: ProjectIndex) -> List[Violation]:
+    violations: List[Violation] = []
+    for info in index.modules:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg is not None
+                        and _looks_like_spec_name(keyword.arg)
+                        and isinstance(keyword.value, ast.Tuple)
+                    ):
+                        _check_spec_tuple(info, keyword.value, violations)
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Tuple):
+                for target in node.targets:
+                    name = None
+                    if isinstance(target, ast.Name):
+                        name = target.id
+                    elif isinstance(target, ast.Attribute):
+                        name = target.attr
+                    if name is not None and _looks_like_spec_name(name):
+                        _check_spec_tuple(info, node.value, violations)
+                        break
+    return violations

@@ -15,6 +15,9 @@ Examples::
     python -m repro study run mix4-grid    # run one (or several) studies
     python -m repro cache info             # result-cache entry count/bytes
     python -m repro cache prune --days 30  # drop stale cache entries
+    python -m repro check                  # simulator-aware static analysis
+    python -m repro check --format json    # machine-readable findings
+    python -m repro run go C2 --sanitize   # pipeline invariant sanitizer on
 
 ``study run`` accepts several names and executes them all on one warm
 scheduler (shared process pool, shared cache), streaming per-cell
@@ -77,6 +80,7 @@ _COMMANDS = (
     "list", "table1", "table2", "table3",
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
     "run", "ablations", "campaign", "smt", "trace", "study", "cache",
+    "check",
 )
 
 
@@ -168,6 +172,25 @@ def _make_parser() -> argparse.ArgumentParser:
         help="cache prune only: drop entries older than this many days "
         "(default: 30)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run simulations with the pipeline invariant sanitizer "
+        "(occupancy, free-list, latch and energy-ledger checks every "
+        "cycle; propagated to pool workers)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="check only: report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="check only: suppression file of accepted findings",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None,
+        help="check only: accept all current findings into this file "
+        "and exit",
+    )
     return parser
 
 
@@ -223,6 +246,8 @@ def _cmd_list() -> None:
     print("  study list|run NAME [NAME..]— declarative studies on the batched")
     print("                                sweep scheduler (one warm pool)")
     print("  cache info|prune            — inspect / age out the result cache")
+    print("  check [--format json]       — static analysis: determinism, hot-path")
+    print("                                discipline, stage contracts, spec grammar")
     print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
     print(f"mixes: {', '.join(MIX_NAMES)} (policies: {', '.join(POLICY_NAMES)})")
     print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
@@ -434,6 +459,36 @@ def _cmd_study(options, cache: Optional[ResultCache], benchmarks) -> None:
             print(f"wrote {options.json}")
 
 
+def _cmd_check(options) -> int:
+    """``repro check``: the simulator-aware static-analysis pass."""
+    import json as json_mod
+
+    from repro.analysis import run_check
+    from repro.analysis.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.report import render_json, render_text
+
+    violations = run_check()
+    if options.write_baseline:
+        count = write_baseline(options.write_baseline, violations)
+        print(f"wrote {count} suppression(s) to {options.write_baseline}")
+        return 0
+    suppressed, stale = 0, []
+    if options.baseline:
+        keys = load_baseline(options.baseline)
+        violations, suppressed, stale = apply_baseline(violations, keys)
+    if options.format == "json":
+        print(json_mod.dumps(
+            render_json(violations, suppressed, stale), indent=2
+        ))
+    else:
+        print(render_text(violations, suppressed, stale))
+    return 1 if violations else 0
+
+
 def _cmd_cache(options) -> None:
     """``repro cache info`` / ``repro cache prune --days N``."""
     usage = "usage: repro cache info|prune [--cache-dir DIR] [--days N]"
@@ -495,9 +550,15 @@ def _cmd_campaign(options, cache: Optional[ResultCache], benchmarks) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     options = _make_parser().parse_args(argv)
     command = options.command
+    if options.sanitize:
+        # Before any simulation (and before the process pool forks/spawns
+        # workers, which read it at config construction).
+        os.environ["REPRO_SANITIZE"] = "1"
     if command == "list":
         _cmd_list()
         return 0
+    if command == "check":
+        return _cmd_check(options)
     if command == "trace":
         _cmd_trace(options)
         return 0

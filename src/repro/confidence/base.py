@@ -48,6 +48,8 @@ def history_of_snapshot(snapshot: Any) -> int:
 class ConfidenceEstimator:
     """Assign a confidence level to each conditional-branch prediction."""
 
+    __slots__ = ()
+
     name = "abstract"
 
     def set_actual(self, taken: bool) -> None:

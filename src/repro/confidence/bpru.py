@@ -67,6 +67,13 @@ class BPRUEstimator(ConfidenceEstimator):
 
     name = "bpru"
 
+    __slots__ = (
+        "size_kb", "miss_increment", "correct_decrement", "initial_counter",
+        "value_hit_rate", "_seed", "_actual", "_draws", "entries", "_mask",
+        "tags", "counters", "table_hits", "table_misses", "_trips",
+        "_stable_trips", "_spec_streaks", "_commit_streaks", "_pc_partials",
+    )
+
     def __init__(
         self,
         size_kb: int = 8,

@@ -33,6 +33,11 @@ class JRSEstimator(ConfidenceEstimator):
 
     name = "jrs"
 
+    __slots__ = (
+        "size_kb", "threshold", "correct_increment", "entries", "_mask",
+        "table",
+    )
+
     def __init__(
         self, size_kb: int = 8, threshold: int = 12, correct_increment: int = 1
     ) -> None:

@@ -21,6 +21,8 @@ from repro.confidence.base import ConfidenceLevel
 class ConfidenceMatrix:
     """Counts of (confidence level, prediction correctness) outcomes."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[Tuple[ConfidenceLevel, bool], int] = {}
 

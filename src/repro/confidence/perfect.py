@@ -19,6 +19,8 @@ class PerfectEstimator(ConfidenceEstimator):
 
     name = "perfect"
 
+    __slots__ = ("_next_actual_taken",)
+
     def __init__(self) -> None:
         self._next_actual_taken = None
 

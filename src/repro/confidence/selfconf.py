@@ -36,6 +36,8 @@ class PerceptronConfidenceEstimator(ConfidenceEstimator):
 
     name = "perceptron-self"
 
+    __slots__ = ()
+
     def estimate(
         self,
         pc: int,
@@ -71,6 +73,8 @@ class CounterConfidenceEstimator(ConfidenceEstimator):
     """
 
     name = "counter-self"
+
+    __slots__ = ()
 
     def estimate(
         self,

@@ -23,6 +23,17 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state (invariant violation)."""
 
 
+class SanitizerError(SimulationError):
+    """A pipeline invariant checked in sanitize mode does not hold.
+
+    Raised by :mod:`repro.pipeline.sanitizer` when a run with
+    ``ProcessorConfig.sanitize`` enabled catches an inconsistency between
+    the kernel's incremental bookkeeping and the ground truth recomputed
+    from the structures.  The message always names the violated
+    invariant, the stage after which it was detected, and the cycle.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload name is unknown or a workload spec is invalid."""
 

@@ -512,9 +512,24 @@ def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
 # Fingerprinting and result (de)serialisation
 # ----------------------------------------------------------------------
 
+# Configuration fields that cannot change a simulation result and so must
+# not enter content addresses: ``sanitize`` only toggles invariant checks
+# (a sanitized run is bit-identical or raises), and hashing it would split
+# the cache by debug mode.
+_NON_RESULT_FIELDS = frozenset({"sanitize"})
+
+
+def _config_items(config: ProcessorConfig) -> List[Tuple[str, object]]:
+    return [
+        (name, value)
+        for name, value in sorted(vars(config).items())
+        if name not in _NON_RESULT_FIELDS
+    ]
+
+
 def config_fingerprint(config: ProcessorConfig) -> Tuple:
-    """A hashable fingerprint of every configuration field."""
-    return tuple(sorted(vars(config).items()))
+    """A hashable fingerprint of every result-relevant config field."""
+    return tuple(_config_items(config))
 
 
 def _code_version() -> str:
@@ -539,7 +554,7 @@ def cell_fingerprint(cell: SimCell) -> str:
         "version": _code_version(),
         "benchmark": cell.benchmark,
         "controller_spec": list(cell.controller_spec),
-        "config": {name: value for name, value in sorted(vars(cell.config).items())},
+        "config": dict(_config_items(cell.config)),
         "seed": cell.effective_seed,
         "clock_gating": cell.clock_gating,
         "instructions": cell.instructions,
@@ -578,7 +593,7 @@ def smt_cell_fingerprint(cell: SmtCell) -> str:
         "mix": cell.mix,
         "policy": cell.policy,
         "sharing": cell.sharing,
-        "config": {name: value for name, value in sorted(vars(cell.config).items())},
+        "config": dict(_config_items(cell.config)),
         "seed": cell.effective_seed,
         "clock_gating": cell.clock_gating,
         "instructions": cell.instructions,

@@ -86,8 +86,7 @@ class InstructionSupply:
 
     kind = "abstract"
 
-    #: The program this supply walks.
-    program: Program
+    __slots__ = ("program",)
 
     def get(self, stream_index: int) -> DynamicRecord:
         """Return the true-path record at an absolute stream index."""
@@ -137,6 +136,8 @@ class LiveSupply(InstructionSupply):
     """
 
     kind = "live"
+
+    __slots__ = ("_oracle", "_navigator", "_records")
 
     def __init__(self, program: Program, seed: int) -> None:
         self.program = program
@@ -222,6 +223,8 @@ class CompiledTables:
     wrong-path seed, so they are cached per seed.  Blocks are compiled
     lazily — short runs touch a fraction of a large program.
     """
+
+    __slots__ = ("program", "_true", "_wp_by_seed")
 
     def __init__(self, program: Program) -> None:
         self.program = program
@@ -434,6 +437,12 @@ class CompiledSupply(InstructionSupply):
     """
 
     kind = "compiled"
+
+    __slots__ = (
+        "seed", "_tables", "_wp_seed", "_wp_cache", "_nblocks", "_records",
+        "_base", "_block_id", "_stack", "global_history", "_visit_counts",
+        "_fallback",
+    )
 
     def __init__(self, program: Program, seed: int) -> None:
         if not program.finalized:
@@ -673,6 +682,8 @@ class TraceSupply(CompiledSupply):
     """
 
     kind = "trace"
+
+    __slots__ = ("_limit",)
 
     def __init__(self, program: Program, seed: int, records) -> None:
         super().__init__(program, seed)

@@ -9,12 +9,23 @@ implements that recipe.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 
 # Back-end stages that always exist: issue, execute, writeback, commit.
 _BACKEND_STAGES = 4
+
+
+def _sanitize_default() -> bool:
+    """Default of ``ProcessorConfig.sanitize``: the REPRO_SANITIZE env var.
+
+    The env var (set by the CLI's ``--sanitize`` flag) rather than a plain
+    ``False`` default so process-pool workers, which rebuild configs from
+    specs, inherit sanitize mode from the parent process.
+    """
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
 @dataclass
@@ -83,6 +94,12 @@ class ProcessorConfig:
 
     # Technology (Table 3: 0.18um, 2.0 V, 1200 MHz).
     frequency_hz: float = 1.2e9
+
+    # Debug: compile pipeline invariant checks into the stage kernel
+    # (see repro/pipeline/sanitizer.py).  Never affects results — a
+    # sanitized run either produces bit-identical output or raises
+    # SanitizerError — so it is excluded from cache fingerprints.
+    sanitize: bool = field(default_factory=_sanitize_default)
 
     def __post_init__(self) -> None:
         self.validate()

@@ -379,6 +379,13 @@ class Processor:
         else:
             self.total_rob_size = sum(thread.rob.size for thread in self.threads)
         self.scheduler = CycleScheduler(self)
+        # Sanitize dispatch is chosen once here, so the per-cycle loops
+        # carry no mode branch and a sanitize-off run costs nothing extra.
+        self._step = (
+            self.scheduler.step_sanitized
+            if self.config.sanitize
+            else self.scheduler.step
+        )
 
     # ------------------------------------------------------------------
     # Single-thread aliases (the overwhelmingly common configuration)
@@ -469,7 +476,7 @@ class Processor:
         base = stats.committed
         target = base + instructions
         limit = self.cycle + instructions * 400 + 100_000
-        step = self.scheduler.step
+        step = self._step
         while stats.committed < target:
             step()
             if self.cycle > limit:
@@ -480,4 +487,4 @@ class Processor:
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
-        self.scheduler.step()
+        self._step()

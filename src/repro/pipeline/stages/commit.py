@@ -49,6 +49,17 @@ class CommitRecoverStage(Stage):
 
     name = "commit"
 
+    # Latch surfaces this stage may touch (checked by ``repro check``,
+    # rule CON001).  Commit owns squash/repair, so recovery's latch
+    # flushes and renamer restore are charged here even when writeback
+    # triggers them through ``recover``.
+    CONTRACT = {
+        "reads": (),
+        "writes": (
+            "rob", "iq", "lsq", "renamer", "fetch_latch", "decode_latch",
+        ),
+    }
+
     def __init__(self, kernel) -> None:
         super().__init__(kernel)
         self.width = kernel.config.commit_width

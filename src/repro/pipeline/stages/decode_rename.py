@@ -33,6 +33,16 @@ class DecodeRenameStage(Stage):
 
     name = "decode-rename"
 
+    # Latch surfaces this stage may touch (CON001): drains the fetch
+    # latch into the decode latch, then renames/dispatches into every
+    # back-end structure.
+    CONTRACT = {
+        "reads": (),
+        "writes": (
+            "fetch_latch", "decode_latch", "rob", "iq", "lsq", "renamer",
+        ),
+    }
+
     def __init__(self, kernel) -> None:
         super().__init__(kernel)
         self.width = kernel.config.decode_width

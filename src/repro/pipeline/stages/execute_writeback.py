@@ -27,6 +27,13 @@ class ExecuteWritebackStage(Stage):
 
     name = "writeback"
 
+    # Latch surfaces this stage may touch (CON001): pops the cycle's
+    # completion bucket, clears busy tags and wakes IQ dependents.
+    CONTRACT = {
+        "reads": (),
+        "writes": ("completions", "renamer", "iq"),
+    }
+
     def __init__(self, kernel, recovery) -> None:
         super().__init__(kernel)
         # The commit stage owns squash/repair; branch resolution calls

@@ -49,6 +49,14 @@ class FetchStage(Stage):
 
     name = "fetch"
 
+    # Latch surfaces this stage may touch (CON001): appends to the fetch
+    # latch only; the decode-latch read is the shared-buffer occupancy
+    # gate.
+    CONTRACT = {
+        "reads": ("decode_latch",),
+        "writes": ("fetch_latch",),
+    }
+
     def __init__(self, kernel) -> None:
         super().__init__(kernel)
         config = kernel.config

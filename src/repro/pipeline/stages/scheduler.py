@@ -16,6 +16,7 @@ the kernel.
 
 from __future__ import annotations
 
+from repro.pipeline.sanitizer import check_cycle_end, check_invariants
 from repro.pipeline.stages.commit import CommitRecoverStage
 from repro.pipeline.stages.decode_rename import DecodeRenameStage
 from repro.pipeline.stages.execute_writeback import ExecuteWritebackStage
@@ -26,6 +27,12 @@ from repro.power.units import NUM_UNITS
 
 class CycleScheduler:
     """Owns the five stage components and advances them one cycle at a time."""
+
+    __slots__ = (
+        "kernel", "total_rob_size",
+        "commit", "writeback", "issue", "decode_rename", "fetch",
+        "stages",
+    )
 
     def __init__(self, kernel) -> None:
         self.kernel = kernel
@@ -65,3 +72,34 @@ class CycleScheduler:
         power.total_instr_cycles += in_flight
         kernel.stats.cycles += 1
         kernel.cycle = cycle + 1
+
+    def step_sanitized(self) -> None:
+        """``step`` with invariant checks after every stage tick.
+
+        The kernel binds its ``_step`` to this method instead of ``step``
+        when ``config.sanitize`` is set (see ``Processor._finish_threads``)
+        — the plain ``step`` carries no sanitize branch, so runs without
+        the mode pay nothing.  The stage sequence and the cycle close
+        mirror ``step`` exactly; a sanitized run is bit-identical or
+        raises :class:`~repro.errors.SanitizerError`.
+        """
+        kernel = self.kernel
+        cycle = kernel.cycle
+        activity = [0] * NUM_UNITS
+        self.commit.tick(cycle, activity)
+        check_invariants(kernel, self.commit.name, cycle)
+        self.writeback.tick(cycle, activity)
+        check_invariants(kernel, self.writeback.name, cycle)
+        self.issue.tick(cycle, activity)
+        check_invariants(kernel, self.issue.name, cycle)
+        self.decode_rename.tick(cycle, activity)
+        check_invariants(kernel, self.decode_rename.name, cycle)
+        self.fetch.tick(cycle, activity)
+        check_invariants(kernel, self.fetch.name, cycle)
+        power = kernel.power
+        in_flight = kernel.rob_count
+        power.end_cycle(activity, in_flight / self.total_rob_size)
+        power.total_instr_cycles += in_flight
+        kernel.stats.cycles += 1
+        kernel.cycle = cycle + 1
+        check_cycle_end(kernel, cycle)

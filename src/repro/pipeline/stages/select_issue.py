@@ -30,6 +30,13 @@ class SelectIssueStage(Stage):
 
     name = "issue"
 
+    # Latch surfaces this stage may touch (CON001): consumes the ready
+    # list and schedules completions.
+    CONTRACT = {
+        "reads": (),
+        "writes": ("iq", "completions"),
+    }
+
     def __init__(self, kernel) -> None:
         super().__init__(kernel)
         self.width = kernel.config.issue_width

@@ -116,6 +116,16 @@ class ClockGatingStyle(enum.Enum):
 class PowerModel:
     """Accumulates energy per unit, split into useful / wasted / idle."""
 
+    __slots__ = (
+        "table", "style", "idle_fraction", "cycles", "unit_energy",
+        "dynamic_energy", "wasted_energy", "unit_accesses",
+        "squashed_accesses", "usage_sum", "total_instr_cycles",
+        "wasted_instr_cycles", "committed_instr_cycles",
+        "attribute_threads", "_thread_ledger", "_cc3",
+        "_energy_per_access", "_idle_energy", "_count_tables",
+        "_nonclock_units", "_idle_pairs",
+    )
+
     def __init__(
         self,
         table: Optional[UnitPowerTable] = None,

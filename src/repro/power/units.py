@@ -92,6 +92,8 @@ _BASELINE_UTILIZATION: Dict[PowerUnit, float] = {
 class UnitPowerTable:
     """Maximum power (W) and port count per unit, plus the cycle time."""
 
+    __slots__ = ("frequency_hz", "cycle_seconds", "max_watts", "ports")
+
     def __init__(
         self,
         max_watts: Dict[PowerUnit, float],

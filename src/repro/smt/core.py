@@ -154,7 +154,7 @@ class SmtProcessor(Processor):
         threads = self.threads
         base = [thread.committed for thread in threads]
         limit = self.cycle + instructions * 400 * len(threads) + 100_000
-        step = self.scheduler.step
+        step = self._step
         while any(
             thread.committed - start < instructions
             for thread, start in zip(threads, base)

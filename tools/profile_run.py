@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import sys
 from typing import List, Optional
@@ -87,6 +88,11 @@ def _make_parser() -> argparse.ArgumentParser:
         "--save", default=None,
         help="also write the raw profile to this pstats file",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="profile with the pipeline invariant sanitizer enabled "
+        "(shows what the per-cycle checks cost)",
+    )
     return parser
 
 
@@ -100,6 +106,11 @@ def _controller_spec(name: str) -> tuple:
 
 def main(argv: Optional[List[str]] = None) -> int:
     options = _make_parser().parse_args(argv)
+
+    if options.sanitize:
+        # Before the cell is built: ProcessorConfig reads the environment
+        # at construction time.
+        os.environ["REPRO_SANITIZE"] = "1"
 
     if options.mix:
         if options.supply != "compiled" or options.trace:
