@@ -53,10 +53,16 @@ WALL_CLOCK_TARGETS = frozenset({
 })
 
 # Cache maintenance legitimately timestamps entries (age-based pruning);
-# the timestamps never reach a simulation result or a fingerprint.
+# the timestamps never reach a simulation result or a fingerprint.  The
+# telemetry clock module is the single funnel for runtime-metric wall
+# times (manifests, batch durations, queue latency) — its readings feed
+# telemetry events only, never results, and every other module must call
+# through it rather than time.* directly.
 WALL_CLOCK_ALLOWLIST = frozenset({
     ("repro/experiments/engine.py", "ResultCache.info"),
     ("repro/experiments/engine.py", "ResultCache.prune"),
+    ("repro/telemetry/clock.py", "wall_time"),
+    ("repro/telemetry/clock.py", "perf_time"),
 })
 
 ENTROPY_TARGETS = frozenset({

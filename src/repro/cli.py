@@ -18,6 +18,11 @@ Examples::
     python -m repro check                  # simulator-aware static analysis
     python -m repro check --format json    # machine-readable findings
     python -m repro run go C2 --sanitize   # pipeline invariant sanitizer on
+    python -m repro run go C2 --telemetry  # per-stage probe counters on
+    python -m repro study run clock-gating-styles --telemetry-out run.jsonl
+    python -m repro telemetry summary run.jsonl   # validate + aggregate
+    python -m repro telemetry export run.jsonl    # Prometheus text format
+    python -m repro telemetry top run.jsonl --top 5
 
 ``study run`` accepts several names and executes them all on one warm
 scheduler (shared process pool, shared cache), streaming per-cell
@@ -80,7 +85,7 @@ _COMMANDS = (
     "list", "table1", "table2", "table3",
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
     "run", "ablations", "campaign", "smt", "trace", "study", "cache",
-    "check",
+    "check", "telemetry",
 )
 
 
@@ -179,6 +184,21 @@ def _make_parser() -> argparse.ArgumentParser:
         "cycle; propagated to pool workers)",
     )
     parser.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument simulations with the per-stage probe bus and "
+        "publish runtime metrics (propagated to pool workers; results "
+        "stay bit-identical to uninstrumented runs)",
+    )
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="FILE",
+        help="write the telemetry event stream (repro-telemetry/1 JSONL) "
+        "to FILE; implies --telemetry",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="telemetry top only: number of counters to rank (default: 10)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="check only: report format (default: text)",
     )
@@ -248,6 +268,8 @@ def _cmd_list() -> None:
     print("  cache info|prune            — inspect / age out the result cache")
     print("  check [--format json]       — static analysis: determinism, hot-path")
     print("                                discipline, stage contracts, spec grammar")
+    print("  telemetry summary|export|top FILE — validate/aggregate a JSONL")
+    print("                                event stream (--telemetry-out)")
     print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
     print(f"mixes: {', '.join(MIX_NAMES)} (policies: {', '.join(POLICY_NAMES)})")
     print("experiments: A1-A7, B1-B9, C1-C7 (gating entries via ('gating', N))")
@@ -437,15 +459,26 @@ def _cmd_study(options, cache: Optional[ResultCache], benchmarks) -> None:
         seeds=options.seeds,
     )
     # One scheduler for the whole run: every study shares the warm
-    # process pool, the cache and the affinity batcher.
+    # process pool, the cache and the affinity batcher.  Per-cell
+    # progress goes through the telemetry bus: a LiveView listener
+    # renders the classic stderr status line, and a --telemetry-out
+    # stream captures the same progression as structured events.
+    from repro.telemetry.events import configure as telemetry_configure
+    from repro.telemetry.events import publish as telemetry_publish
+    from repro.telemetry.live import LiveView
+
+    telemetry_configure(listener=LiveView(sys.stderr))
     scheduler = SweepScheduler(jobs=options.jobs, cache=cache)
     for index, spec in enumerate(specs):
         def progress(done, total, _name=spec.name):
-            print(f"\r{_name}: {done}/{total} cells", end="", file=sys.stderr)
+            telemetry_publish(
+                "study-progress", study=_name, done=done, total=total
+            )
 
         run = run_study(spec, context, executor=scheduler, progress=progress)
-        print(f"\r{spec.name}: {len(run.plan.cells)} cells done",
-              file=sys.stderr)
+        telemetry_publish(
+            "study-complete", study=spec.name, cells=len(run.plan.cells)
+        )
         if index:
             print()
         print(run.render())
@@ -508,12 +541,60 @@ def _cmd_cache(options) -> None:
               f" ({info['bytes'] / 1048576:.2f} MiB)")
         print(f"  oldest entry  {info['oldest_age_days']:.1f} days old")
         print(f"  newest entry  {info['newest_age_days']:.1f} days old")
+        stats = cache.stats()
+        print(f"  hits          {stats['hits']}")
+        print(f"  misses        {stats['misses']}")
+        print(f"  stores        {stats['stores']}")
+        print(f"  evictions     {stats['evictions']}")
+        print(f"  hit rate      {stats['hit_rate'] * 100:.1f}%")
         return
     dropped = cache.prune(options.days)
+    cache.flush_stats()
     print(
         f"pruned {dropped} entries older than {options.days:g} days "
         f"from {options.cache_dir}"
     )
+
+
+def _cmd_telemetry(options) -> int:
+    """``repro telemetry summary|export|top FILE``: consume a stream."""
+    from repro.telemetry.export import (
+        read_events,
+        summarize,
+        to_prometheus,
+        top_counters,
+        validate_events,
+    )
+
+    usage = "usage: repro telemetry summary|export|top FILE [--top N]"
+    if len(options.args) != 2 or options.args[0] not in (
+        "summary", "export", "top",
+    ):
+        raise SystemExit(usage)
+    action, path = options.args
+    try:
+        events = read_events(path)
+    except OSError as error:
+        raise SystemExit(f"repro telemetry: {error}")
+    except ValueError as error:
+        raise SystemExit(f"repro telemetry: {error}")
+    if action == "summary":
+        errors = validate_events(events)
+        if errors:
+            for message in errors:
+                print(f"invalid: {message}", file=sys.stderr)
+            print(
+                f"{path}: {len(errors)} schema violation(s)", file=sys.stderr
+            )
+            return 1
+        print(summarize(events))
+        return 0
+    if action == "export":
+        print(to_prometheus(events), end="")
+        return 0
+    for name, value in top_counters(events, options.top):
+        print(f"{value:>14d}  {name}")
+    return 0
 
 
 def _experiment_spec(name: str) -> tuple:
@@ -549,16 +630,62 @@ def _cmd_campaign(options, cache: Optional[ResultCache], benchmarks) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     options = _make_parser().parse_args(argv)
-    command = options.command
     if options.sanitize:
         # Before any simulation (and before the process pool forks/spawns
         # workers, which read it at config construction).
         os.environ["REPRO_SANITIZE"] = "1"
+    if options.telemetry or options.telemetry_out:
+        # Likewise pre-fork: workers read REPRO_TELEMETRY at config
+        # construction, so instrumented cells stay instrumented when
+        # they run in the pool.
+        os.environ["REPRO_TELEMETRY"] = "1"
+    writer = None
+    if options.telemetry_out:
+        from repro.telemetry.events import configure as telemetry_configure
+        from repro.telemetry.events import publish as telemetry_publish
+        from repro.telemetry.runtime import build_manifest
+
+        writer = open(options.telemetry_out, "w", encoding="utf-8")
+        telemetry_configure(writer=writer)
+        telemetry_publish(
+            "manifest",
+            **build_manifest(
+                options.command,
+                studies=(
+                    options.args[1:]
+                    if options.command == "study"
+                    and options.args[:1] == ["run"]
+                    else None
+                ),
+                jobs=options.jobs,
+                cache_dir=options.cache_dir,
+                instructions=options.instructions,
+                warmup=options.warmup,
+            ),
+        )
+    try:
+        return _dispatch(options)
+    finally:
+        # The sink is process-global: detach whatever this invocation
+        # configured (writer, the study command's LiveView listener) so
+        # repeated in-process main() calls start clean.
+        from repro.telemetry.events import reset as telemetry_reset
+
+        telemetry_reset()
+        if writer is not None:
+            writer.close()
+            print(f"wrote {options.telemetry_out}", file=sys.stderr)
+
+
+def _dispatch(options) -> int:
+    command = options.command
     if command == "list":
         _cmd_list()
         return 0
     if command == "check":
         return _cmd_check(options)
+    if command == "telemetry":
+        return _cmd_telemetry(options)
     if command == "trace":
         _cmd_trace(options)
         return 0

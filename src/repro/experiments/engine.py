@@ -57,6 +57,7 @@ from repro.smt.metrics import (
 )
 from repro.smt.mixes import mix_spec
 from repro.smt.policies import make_fetch_policy
+from repro.telemetry.events import publish as telemetry_publish
 from repro.workloads.suite import benchmark_spec
 
 ControllerSpec = Tuple
@@ -328,12 +329,14 @@ def _program_for(spec) -> "Program":
     return program
 
 
-def simulate(cell: SimCell) -> SimulationResult:
-    """Run one cell and collect every measured quantity.
+def build_processor(cell: SimCell) -> Processor:
+    """Construct (but do not run) the processor a cell describes.
 
-    This is the single execution core: the controller/estimator pairing,
-    the seed convention and the result fields (including the ``extra``
-    throttling counters) are defined here and nowhere else.
+    Split out of :func:`simulate` so instrumentation harnesses — the
+    stage-timer mode of ``tools/profile_run.py``, tests that inspect
+    kernel state mid-run — get exactly the simulate-path machine
+    (controller/estimator pairing, seed convention, supply selection)
+    without duplicating the recipe.
     """
     seed = cell.effective_seed
     spec = benchmark_spec(cell.benchmark)
@@ -369,7 +372,7 @@ def simulate(cell: SimCell) -> SimulationResult:
 
             supply = LiveSupply(program, seed)
     controller = make_controller(cell.controller_spec)
-    processor = Processor(
+    return Processor(
         config,
         program,
         controller=controller,
@@ -377,7 +380,19 @@ def simulate(cell: SimCell) -> SimulationResult:
         seed=seed,
         supply=supply,
     )
+
+
+def simulate(cell: SimCell) -> SimulationResult:
+    """Run one cell and collect every measured quantity.
+
+    This is the single execution core: the controller/estimator pairing,
+    the seed convention and the result fields (including the ``extra``
+    throttling counters) are defined here and nowhere else.
+    """
+    processor = build_processor(cell)
     stats = processor.run(cell.instructions, warmup_instructions=cell.warmup)
+    if processor.probes is not None:
+        _publish_probe_snapshot("sim", cell.benchmark, cell, processor)
     power = processor.power
 
     total_energy = power.total_energy()
@@ -464,13 +479,13 @@ def make_smt_cell(
     )
 
 
-def simulate_smt(cell: SmtCell) -> SmtResult:
-    """Run one SMT mix cell and collect every measured quantity."""
+def build_smt_processor(cell: SmtCell) -> SmtProcessor:
+    """Construct (but do not run) the SMT core a mix cell describes."""
     spec = mix_spec(cell.mix)
     base_seed = cell.effective_seed
     seeds = spec.thread_seeds(base_seed)
     programs = spec.build_programs(base_seed)
-    processor = SmtProcessor(
+    return SmtProcessor(
         cell.config,
         programs,
         seeds,
@@ -478,8 +493,35 @@ def simulate_smt(cell: SmtCell) -> SmtResult:
         sharing=cell.sharing,
         clock_gating=ClockGatingStyle(cell.clock_gating),
     )
+
+
+def simulate_smt(cell: SmtCell) -> SmtResult:
+    """Run one SMT mix cell and collect every measured quantity."""
+    processor = build_smt_processor(cell)
     processor.run(cell.instructions, warmup_instructions=cell.warmup)
+    if processor.probes is not None:
+        _publish_probe_snapshot("smt", cell.mix, cell, processor)
     return collect_smt_result(processor, cell.mix, cell.policy, cell.instructions)
+
+
+def _publish_probe_snapshot(kind: str, workload: str, cell, processor) -> None:
+    """Emit a ``stage-counters`` event for one instrumented run.
+
+    The snapshot travels the telemetry bus only — it never joins the
+    :class:`SimulationResult` or a cache entry, because ``telemetry`` is
+    excluded from fingerprints: a telemetry-off run may be served a
+    cache entry written by a telemetry-on run, and the payloads must be
+    indistinguishable.  (Corollary: a warm-cache cell emits no
+    stage-counters event; only actual simulations do.)
+    """
+    telemetry_publish(
+        "stage-counters",
+        kind=kind,
+        workload=workload,
+        label=getattr(cell, "effective_label", None) or getattr(cell, "policy", ""),
+        seed=cell.effective_seed,
+        counters=processor.probes.snapshot(),
+    )
 
 
 def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
@@ -514,9 +556,10 @@ def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
 
 # Configuration fields that cannot change a simulation result and so must
 # not enter content addresses: ``sanitize`` only toggles invariant checks
-# (a sanitized run is bit-identical or raises), and hashing it would split
-# the cache by debug mode.
-_NON_RESULT_FIELDS = frozenset({"sanitize"})
+# (a sanitized run is bit-identical or raises), ``telemetry`` only attaches
+# the read-only probe bus, and hashing either would split the cache by
+# debug/observability mode.
+_NON_RESULT_FIELDS = frozenset({"sanitize", "telemetry"})
 
 
 def _config_items(config: ProcessorConfig) -> List[Tuple[str, object]]:
@@ -639,13 +682,26 @@ class ResultCache:
     share an entry and any config change misses cleanly.  Entries are
     written atomically (write-then-rename) so an interrupted campaign
     leaves no torn files behind.
+
+    Session hit/miss/store counters are per-instance and monotonic;
+    :meth:`flush_stats` folds their growth since the last flush into a
+    persistent ``_cache_stats.json`` sidecar (read-modify-write over a
+    rename; concurrent flushers may drop each other's deltas, which is
+    acceptable for monitoring counters), so ``repro cache info`` reports
+    lifetime hit rate across runs — the shared-cache sizing signal the
+    roadmap asks for.  The sidecar's leading underscore keeps it out of
+    :meth:`entries` and :meth:`prune` (fingerprints are hex).
     """
+
+    STATS_FILENAME = "_cache_stats.json"
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self._flushed = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, fingerprint: str) -> str:
@@ -705,6 +761,59 @@ class ResultCache:
         os.replace(tmp, path)
         self.stores += 1
 
+    # -- persistent counters (telemetry + `repro cache info`) -----------
+
+    def _stats_path(self) -> str:
+        return os.path.join(self.directory, self.STATS_FILENAME)
+
+    def persistent_stats(self) -> Dict[str, int]:
+        """Lifetime counters from the on-disk sidecar (zeros if absent)."""
+        stats = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        try:
+            with open(self._stats_path()) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return stats
+        for key in stats:
+            value = payload.get(key)
+            if isinstance(value, int) and value >= 0:
+                stats[key] = value
+        return stats
+
+    def flush_stats(self) -> Dict[str, int]:
+        """Fold session counter growth into the sidecar; returns totals."""
+        deltas = {
+            "hits": self.hits - self._flushed["hits"],
+            "misses": self.misses - self._flushed["misses"],
+            "stores": self.stores - self._flushed["stores"],
+            "evictions": self.evictions - self._flushed["evictions"],
+        }
+        self._flushed = {
+            "hits": self.hits, "misses": self.misses,
+            "stores": self.stores, "evictions": self.evictions,
+        }
+        totals = self.persistent_stats()
+        for key, delta in deltas.items():
+            totals[key] += delta
+        path = self._stats_path()
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(totals, handle, indent=2)
+        os.replace(tmp, path)
+        return totals
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime counters plus this session's unflushed growth."""
+        totals = self.persistent_stats()
+        totals["hits"] += self.hits - self._flushed["hits"]
+        totals["misses"] += self.misses - self._flushed["misses"]
+        totals["stores"] += self.stores - self._flushed["stores"]
+        totals["evictions"] += self.evictions - self._flushed["evictions"]
+        accesses = totals["hits"] + totals["misses"]
+        combined: Dict[str, float] = dict(totals)
+        combined["hit_rate"] = totals["hits"] / accesses if accesses else 0.0
+        return combined
+
     # -- maintenance (the `repro cache` subcommands) --------------------
 
     def entries(self) -> List[str]:
@@ -716,7 +825,7 @@ class ResultCache:
         return [
             os.path.join(self.directory, name)
             for name in names
-            if name.endswith(".json")
+            if name.endswith(".json") and not name.startswith("_")
         ]
 
     def info(self) -> Dict[str, float]:
@@ -759,6 +868,8 @@ class ResultCache:
         except OSError:
             return 0
         for name in names:
+            if name == self.STATS_FILENAME:  # the sidecar is not an entry
+                continue
             is_entry = name.endswith(".json")
             if not is_entry and ".json.tmp." not in name:
                 continue
@@ -769,6 +880,7 @@ class ResultCache:
                     dropped += is_entry
             except OSError:
                 continue
+        self.evictions += dropped
         return dropped
 
 

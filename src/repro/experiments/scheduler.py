@@ -39,6 +39,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.telemetry.clock import perf_time
+from repro.telemetry.events import publish as telemetry_publish
+from repro.telemetry.events import replay as telemetry_replay
 
 # ----------------------------------------------------------------------
 # The shared worker pool
@@ -78,12 +81,27 @@ def shutdown_shared_pool() -> None:
 atexit.register(shutdown_shared_pool)
 
 
-def execute_batch(cells: List) -> List:
-    """Process-pool work function: simulate a batch of cells in order."""
+def execute_batch(cells: List) -> Dict:
+    """Process-pool work function: simulate a batch of cells in order.
+
+    Returns ``{"results", "events", "wall_seconds"}``: the in-order
+    results, the telemetry events the batch published in the worker
+    (probe snapshots of instrumented runs — buffered here, drained, and
+    republished by the parent's sink), and the worker-side wall time of
+    the batch (perf-counter seconds; comparable only as a duration).
+    """
     # Imported lazily: engine.py imports this module.
     from repro.experiments.engine import execute_cell
+    from repro.telemetry import events as telemetry_events
 
-    return [execute_cell(cell) for cell in cells]
+    start = perf_time()
+    telemetry_events.worker_mode()
+    results = [execute_cell(cell) for cell in cells]
+    return {
+        "results": results,
+        "events": telemetry_events.drain(),
+        "wall_seconds": perf_time() - start,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -235,8 +253,10 @@ class SweepScheduler:
                 ready[follower] = _relabelled(result, cells[follower])
 
         batches = plan_batches(pending, self.jobs, self.batch_cells)
+        self._publish_plan(total, len(ready), pending, batches)
         if self.jobs > 1 and len(batches) > 1:
             pool = shared_pool(self.jobs)
+            submitted = perf_time()
             future_map = {
                 pool.submit(execute_batch, [cell for _, cell in batch]): batch
                 for batch in batches
@@ -247,7 +267,20 @@ class SweepScheduler:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     batch = future_map[future]
-                    for (index, cell), result in zip(batch, future.result()):
+                    payload = future.result()
+                    telemetry_replay(payload["events"])
+                    wall = payload["wall_seconds"]
+                    # Parent-observed latency minus worker wall time ≈
+                    # time spent queued behind other batches (plus IPC).
+                    telemetry_publish(
+                        "batch-complete",
+                        cells=len(batch),
+                        wall_seconds=round(wall, 6),
+                        queue_seconds=round(
+                            max(0.0, perf_time() - submitted - wall), 6
+                        ),
+                    )
+                    for (index, cell), result in zip(batch, payload["results"]):
                         settle(index, cell, result)
                 yield from flush()
         else:
@@ -255,10 +288,36 @@ class SweepScheduler:
 
             for batch in batches:
                 self.batches_dispatched += 1
+                start = perf_time()
                 for index, cell in batch:
                     settle(index, cell, execute_cell(cell))
+                telemetry_publish(
+                    "batch-complete",
+                    cells=len(batch),
+                    wall_seconds=round(perf_time() - start, 6),
+                    queue_seconds=0.0,
+                )
                 yield from flush()
+        if self.cache is not None:
+            telemetry_publish("cache", **self.cache.stats())
+            self.cache.flush_stats()
         yield from flush()
+
+    def _publish_plan(self, total, cache_hits, pending, batches) -> None:
+        """Emit the ``batch-plan`` event: occupancy and affinity shape."""
+        group_sizes: Dict[Tuple, int] = {}
+        for _, cell in pending:
+            key = affinity_key(cell)
+            group_sizes[key] = group_sizes.get(key, 0) + 1
+        telemetry_publish(
+            "batch-plan",
+            cells=total,
+            cache_hits=cache_hits,
+            simulated=len(pending),
+            batches=len(batches),
+            batch_sizes=[len(batch) for batch in batches],
+            affinity_groups=list(group_sizes.values()),
+        )
 
 
 def _relabelled(result, cell):

@@ -28,6 +28,12 @@ def _sanitize_default() -> bool:
     return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
+def _telemetry_default() -> bool:
+    """Default of ``ProcessorConfig.telemetry``: the REPRO_TELEMETRY env
+    var, for the same worker-inheritance reason as ``REPRO_SANITIZE``."""
+    return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
+
+
 @dataclass
 class ProcessorConfig:
     """All microarchitectural parameters of the simulated processor."""
@@ -100,6 +106,12 @@ class ProcessorConfig:
     # sanitized run either produces bit-identical output or raises
     # SanitizerError — so it is excluded from cache fingerprints.
     sanitize: bool = field(default_factory=_sanitize_default)
+
+    # Observability: attach the per-cycle probe bus to the stage kernel
+    # (see repro/telemetry/probes.py).  Never affects results — an
+    # instrumented run is bit-identical, counters are sampled off the
+    # kernel's own statistics — so it is excluded from cache fingerprints.
+    telemetry: bool = field(default_factory=_telemetry_default)
 
     def __post_init__(self) -> None:
         self.validate()

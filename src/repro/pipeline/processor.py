@@ -73,6 +73,7 @@ from repro.pipeline.stats import SimStats
 from repro.power.model import ClockGatingStyle, PowerModel
 from repro.power.units import UnitPowerTable
 from repro.program.cfg import Program
+from repro.telemetry.probes import ProbeBus
 
 # Address-space separation between hardware threads: programs are generated
 # over the same synthetic address ranges, so each thread's code and data are
@@ -367,6 +368,10 @@ class Processor:
         # Optional observer with on_commit(instr, cycle) / on_squash(instr,
         # cycle) callbacks (see repro.tracing); None costs nothing.
         self.observer = None
+        # The telemetry probe bus; built in _finish_threads when
+        # config.telemetry is set, None otherwise (and then never read:
+        # only the instrumented steppers touch it).
+        self.probes = None
 
     def _finish_threads(self) -> None:
         """Derived totals and the stage kernel; call once ``self.threads``
@@ -379,13 +384,22 @@ class Processor:
         else:
             self.total_rob_size = sum(thread.rob.size for thread in self.threads)
         self.scheduler = CycleScheduler(self)
-        # Sanitize dispatch is chosen once here, so the per-cycle loops
-        # carry no mode branch and a sanitize-off run costs nothing extra.
-        self._step = (
-            self.scheduler.step_sanitized
-            if self.config.sanitize
-            else self.scheduler.step
-        )
+        # Sanitize/telemetry dispatch is chosen once here, so the
+        # per-cycle loops carry no mode branch and a run with both
+        # modes off costs nothing extra.
+        if self.config.telemetry:
+            self.probes = ProbeBus(self)
+            self._step = (
+                self.scheduler.step_instrumented_sanitized
+                if self.config.sanitize
+                else self.scheduler.step_instrumented
+            )
+        else:
+            self._step = (
+                self.scheduler.step_sanitized
+                if self.config.sanitize
+                else self.scheduler.step
+            )
 
     # ------------------------------------------------------------------
     # Single-thread aliases (the overwhelmingly common configuration)
@@ -470,6 +484,8 @@ class Processor:
         self.memory.reset_stats()
         for thread in self.threads:
             thread.reset_measurement()
+        if self.probes is not None:
+            self.probes.reset()
 
     def _run_until(self, instructions: int) -> None:
         stats = self.stats

@@ -1,0 +1,25 @@
+"""The sanctioned wall-clock reads of the telemetry layer.
+
+Runtime telemetry (manifests, per-batch wall time, queue latency) is
+the one part of the system that legitimately reads the wall clock from
+code reachable from the simulation core.  Every such read funnels
+through the two wrappers here, and only this module is allowlisted by
+the determinism checker (``DET001`` in ``analysis/determinism.py``) —
+the same precedent as ``ResultCache.info``/``prune``.  Wall times feed
+*events only*: they never reach a simulation result, a fingerprint or a
+cache entry, so bit-exact reproducibility is untouched.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the epoch (manifest and event timestamps)."""
+    return time.time()
+
+
+def perf_time() -> float:
+    """A monotonic high-resolution timer (durations, never timestamps)."""
+    return time.perf_counter()

@@ -1,0 +1,34 @@
+"""The live terminal view: progress events rendered to a stream.
+
+A :class:`LiveView` is an event listener (see
+:mod:`repro.telemetry.events`) that renders ``study-progress`` /
+``study-complete`` events as the classic carriage-return progress line
+on stderr.  The CLI's study command used to print these lines inline;
+routing them through the bus means a ``--telemetry-out`` stream captures
+the same progression as structured events while the terminal rendering
+stays a pluggable consumer (stdout reports are untouched either way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TextIO
+
+
+class LiveView:
+    """Render progress events as an in-place terminal status line."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+
+    def __call__(self, event: Dict) -> None:
+        kind = event.get("event")
+        if kind == "study-progress":
+            self.stream.write(
+                f"\r{event['study']}: {event['done']}/{event['total']} cells"
+            )
+            self.stream.flush()
+        elif kind == "study-complete":
+            self.stream.write(
+                f"\r{event['study']}: {event['cells']} cells done\n"
+            )
+            self.stream.flush()

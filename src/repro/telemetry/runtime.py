@@ -1,0 +1,62 @@
+"""Per-run manifests: what ran, under which code and configuration.
+
+A manifest is the first event of a ``--telemetry-out`` stream: the
+package version, the Python runtime, a digest of the effective
+baseline configuration (the same result-relevant field set the cache
+fingerprints hash, so two manifests with equal digests describe
+comparable simulations), the command and its knobs, and a wall-clock
+start stamp (via :mod:`repro.telemetry.clock` — events only, never
+results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from typing import Dict, Optional, Sequence
+
+from repro.telemetry.clock import wall_time
+
+
+def config_digest() -> str:
+    """SHA-256 over the baseline config's result-relevant fields."""
+    from repro.experiments.engine import _config_items
+    from repro.pipeline.config import table3_config
+
+    canonical = json.dumps(
+        dict(_config_items(table3_config())),
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_manifest(
+    command: str,
+    studies: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict:
+    """The payload of a ``manifest`` event (see module docstring)."""
+    from repro import __version__
+
+    manifest: Dict = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "config_digest": config_digest(),
+        "command": command,
+        "started_unix": round(wall_time(), 3),
+    }
+    if studies:
+        manifest["studies"] = list(studies)
+    if jobs is not None:
+        manifest["jobs"] = jobs
+    if cache_dir:
+        manifest["cache_dir"] = cache_dir
+    if instructions is not None:
+        manifest["instructions"] = instructions
+    if warmup is not None:
+        manifest["warmup"] = warmup
+    return manifest

@@ -62,14 +62,15 @@ def test_campaign_command_with_cache_and_jobs(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "A5" in out
     assert "±" in out
-    cached_entries = list(cache_dir.glob("*.json"))
+    # Entries only — the underscore-prefixed stats sidecar is metadata.
+    cached_entries = list(cache_dir.glob("[!_]*.json"))
     assert len(cached_entries) == 4  # 2 seeds x (baseline + A5)
     first = save_path.read_text()
 
     # Warm rerun: byte-identical output from the cache alone.
     assert main(argv) == 0
     assert save_path.read_text() == first
-    assert len(list(cache_dir.glob("*.json"))) == 4
+    assert len(list(cache_dir.glob("[!_]*.json"))) == 4
 
 
 def test_campaign_command_requires_an_experiment():

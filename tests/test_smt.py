@@ -379,8 +379,9 @@ def test_cli_smt_command_byte_identical_with_cache(tmp_path, capsys):
     assert "SMT mix 'mix2-steady'" in first
     assert main(argv) == 0
     assert capsys.readouterr().out == first
-    # 1 SMT entry + 2 single-thread references.
-    assert len(list((tmp_path / "cache").glob("*.json"))) == 3
+    # 1 SMT entry + 2 single-thread references (entries only — the
+    # underscore-prefixed stats sidecar is metadata, not an entry).
+    assert len(list((tmp_path / "cache").glob("[!_]*.json"))) == 3
 
 
 def test_cli_smt_without_mix_lists_mixes(capsys):

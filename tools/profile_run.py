@@ -13,6 +13,15 @@ The run goes through :func:`repro.experiments.engine.simulate` (or
 ``simulate_smt`` with ``--mix``), i.e. exactly the code path every figure,
 table and campaign exercises, so the printed hotspots are the ones that
 matter.  ``--save`` writes the raw pstats file for snakeviz/gprof2dot.
+
+``--stage-timers`` swaps cProfile for the telemetry layer: each stage's
+``tick`` is wrapped with a wall-clock accumulator
+(:class:`repro.telemetry.timers.StageTimers`) and the probe bus supplies
+active-cycle counts, answering "which stage costs the time, and is it
+busy or just ticking?" without tracing overhead::
+
+    PYTHONPATH=src python tools/profile_run.py --stage-timers
+    PYTHONPATH=src python tools/profile_run.py --stage-timers --mix mix2-hard
 """
 
 from __future__ import annotations
@@ -93,7 +102,61 @@ def _make_parser() -> argparse.ArgumentParser:
         help="profile with the pipeline invariant sanitizer enabled "
         "(shows what the per-cycle checks cost)",
     )
+    parser.add_argument(
+        "--stage-timers", action="store_true",
+        help="per-stage wall-time attribution from the telemetry layer "
+        "instead of cProfile (stage tick timers + probe-bus active "
+        "cycles; no tracing overhead)",
+    )
     return parser
+
+
+def _run_stage_timers(cell, label: str, smt: bool) -> int:
+    """The ``--stage-timers`` mode: timed ticks + probe active cycles."""
+    from repro.experiments.engine import build_processor, build_smt_processor
+    from repro.telemetry.timers import StageTimers
+
+    processor = build_smt_processor(cell) if smt else build_processor(cell)
+    timers = StageTimers(processor).attach()
+    processor.run(cell.instructions, warmup_instructions=cell.warmup)
+
+    snapshot = processor.probes.snapshot()
+    cycles = snapshot["cycles"]
+    total = timers.total_seconds
+    print(
+        f"stage timers for {label}: {cycles} measured cycles, "
+        f"{total:.3f}s in stage ticks"
+    )
+    print(f"{'stage':<14s} {'wall s':>8s} {'share':>7s} "
+          f"{'ticks':>9s} {'active':>9s} {'busy':>6s}")
+    for name, seconds, calls in timers.report():
+        active = _active_cycles(snapshot, name)
+        share = seconds / total if total else 0.0
+        busy = active / cycles if cycles else 0.0
+        print(
+            f"{name:<14s} {seconds:8.3f} {share * 100:6.1f}% "
+            f"{calls:9d} {active:9d} {busy * 100:5.1f}%"
+        )
+    return 0
+
+
+def _active_cycles(snapshot: dict, stage_name: str) -> int:
+    """Probe-bus active cycles of a kernel stage.
+
+    The kernel fuses decode and rename into one ``decode-rename`` stage
+    while the probe bus keeps them as separate counter groups; a fused
+    stage is active whenever any of its parts is, which the max of the
+    parts approximates from totals.
+    """
+    stages = snapshot["stages"]
+    if stage_name in stages:
+        return stages[stage_name]["active_cycles"]
+    parts = [
+        stages[part]["active_cycles"]
+        for part in stage_name.split("-")
+        if part in stages
+    ]
+    return max(parts) if parts else 0
 
 
 def _controller_spec(name: str) -> tuple:
@@ -111,6 +174,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Before the cell is built: ProcessorConfig reads the environment
         # at construction time.
         os.environ["REPRO_SANITIZE"] = "1"
+    if options.stage_timers:
+        # Same pre-construction rule: the probe bus (active-cycle
+        # counters) attaches only when the config sees telemetry on.
+        os.environ["REPRO_TELEMETRY"] = "1"
 
     if options.mix:
         if options.supply != "compiled" or options.trace:
@@ -145,6 +212,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         target = lambda: simulate(cell)  # noqa: E731
         label = f"{cell.benchmark} under {cell.effective_label} ({options.supply} supply)"
+
+    if options.stage_timers:
+        return _run_stage_timers(cell, label, smt=bool(options.mix))
 
     print(
         f"profiling {label}: {cell.instructions} instructions "
