@@ -12,11 +12,16 @@ the ~1.9x kernel speedup and giving it back.  Two rules:
   *instance* is a documented extension point (see
   ``tests/test_processor.py``), and processors accumulate run-scoped
   SMT/observer state dynamically.
-* ``HOT002`` — stage tick code (methods of ``Stage`` subclasses and the
-  ``CycleScheduler``) must not build closures (lambda / nested def),
-  open ``try`` blocks, or call ``sum()``: each is an allocation or a
-  setup/teardown cost paid per cycle per thread.  Explicit loops with an
-  accumulator are the house idiom.
+* ``HOT002`` — stage tick code (methods of ``Stage`` subclasses, the
+  two cycle schedulers, and the array kernel's column structures in
+  ``repro/pipeline/arrays.py``) must not build closures (lambda /
+  nested def), open ``try`` blocks, or call ``sum()``: each is an
+  allocation or a setup/teardown cost paid per cycle per thread.
+  Explicit loops with an accumulator are the house idiom.  Methods that
+  are *not* tick code despite living in a scanned class (cold probe or
+  debug APIs) may use the flagged constructs through a scoped
+  ``HOT002_ALLOWLIST`` entry — one ``(path, Class.method)`` pair with a
+  stated reason, never a file- or class-wide suppression.
 """
 
 from __future__ import annotations
@@ -48,6 +53,28 @@ SLOTS_ALLOWLIST = frozenset({
     ("repro/pipeline/stages/execute_writeback.py", "ExecuteWritebackStage"),
     ("repro/pipeline/stages/fetch.py", "FetchStage"),
     ("repro/pipeline/stages/select_issue.py", "SelectIssueStage"),
+    # The pinned object-kernel snapshot mirrors the five live stages
+    # above verbatim (same tick-rebinding extension point); it must stay
+    # byte-for-byte comparable to the code it snapshots, so it inherits
+    # their allowlisting rather than growing __slots__ the original
+    # never had.
+    ("repro/pipeline/stages/objectkernel.py", "ObjectCommitRecoverStage"),
+    ("repro/pipeline/stages/objectkernel.py", "ObjectDecodeRenameStage"),
+    ("repro/pipeline/stages/objectkernel.py", "ObjectExecuteWritebackStage"),
+    ("repro/pipeline/stages/objectkernel.py", "ObjectFetchStage"),
+    ("repro/pipeline/stages/objectkernel.py", "ObjectSelectIssueStage"),
+})
+
+# Scoped HOT002 exemptions: (path, "Class.method") pairs for methods
+# that live in a scanned class but are not tick code.  Every entry
+# states its reason; a file- or class-wide suppression is never
+# acceptable here — the point of the rule is that tick code stays
+# loop-and-accumulator shaped.
+HOT002_ALLOWLIST = frozenset({
+    # Cold probe/debug API: the wheel's total occupancy is only read by
+    # the sanitizer's ground-truth recomputation and tests, never by a
+    # stage tick, so the clearer sum()-over-buckets form is fine.
+    ("repro/pipeline/arrays.py", "CompletionWheel.__len__"),
 })
 
 _EXEMPT_BASES = frozenset({
@@ -124,7 +151,9 @@ def check_slots(index: ProjectIndex) -> List[Violation]:
 
 
 def _is_stage_class(node: ast.ClassDef) -> bool:
-    if node.name == "CycleScheduler":
+    # Both cycle schedulers: the live one and the pinned object-kernel
+    # snapshot get the same scrutiny.
+    if node.name in ("CycleScheduler", "ObjectCycleScheduler"):
         return True
     for base in node.bases:
         name = base.attr if isinstance(base, ast.Attribute) else (
@@ -139,15 +168,24 @@ def _is_stage_class(node: ast.ClassDef) -> bool:
 def check_stage_methods(index: ProjectIndex) -> List[Violation]:
     violations: List[Violation] = []
     for info in index.modules:
-        if not info.path.startswith("repro/pipeline/stages/"):
+        # The array kernel's column structures are tick code too: every
+        # class in repro/pipeline/arrays.py is driven from stage loops.
+        arrays_module = info.path == "repro/pipeline/arrays.py"
+        if not arrays_module and not info.path.startswith(
+            "repro/pipeline/stages/"
+        ):
             continue
         for cls in info.tree.body:
-            if not isinstance(cls, ast.ClassDef) or not _is_stage_class(cls):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not arrays_module and not _is_stage_class(cls):
                 continue
             for method in cls.body:
                 if not isinstance(method, ast.FunctionDef):
                     continue
                 symbol = f"{cls.name}.{method.name}"
+                if (info.path, symbol) in HOT002_ALLOWLIST:
+                    continue
                 for node in ast.walk(method):
                     if node is method:
                         continue

@@ -557,9 +557,11 @@ def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
 # Configuration fields that cannot change a simulation result and so must
 # not enter content addresses: ``sanitize`` only toggles invariant checks
 # (a sanitized run is bit-identical or raises), ``telemetry`` only attaches
-# the read-only probe bus, and hashing either would split the cache by
-# debug/observability mode.
-_NON_RESULT_FIELDS = frozenset({"sanitize", "telemetry"})
+# the read-only probe bus, ``kernel`` only selects the bit-identical
+# array/object stage representation (tests/test_kernel_equivalence.py),
+# and hashing any of them would split the cache by debug/observability/
+# representation mode.
+_NON_RESULT_FIELDS = frozenset({"sanitize", "telemetry", "kernel"})
 
 
 def _config_items(config: ProcessorConfig) -> List[Tuple[str, object]]:

@@ -96,6 +96,9 @@ class DynamicInstruction:
       whether it is fetching beyond an unresolved misprediction), ``squashed``
     * power: ``unit_accesses`` maps power-unit index → access count, so a
       squashed instruction's activity can be moved to the wasted pool.
+      The array stage kernel leaves it unset (``None`` via the standalone
+      constructor) and reconstructs tallies on demand from the flags
+      above — see :func:`repro.pipeline.arrays.materialize_tally`.
     """
 
     __slots__ = (
@@ -129,6 +132,14 @@ class DynamicInstruction:
         "ready_sources",
         "issued",
         "completed",
+        # set at writeback when this instruction's result broadcast woke
+        # at least one dependent (array kernel: a window-wakeup access is
+        # derived from it instead of a stored tally increment)
+        "woke",
+        # set at issue on loads: the D-cache access missed L1 (array
+        # kernel: the L2 access is derived from it; read only behind an
+        # ``issued and is_load`` guard)
+        "dcache_missed",
         "throttle_token",
         # cycle this instruction becomes visible to the consumer of the
         # front-end latch it currently sits in (set by the producing stage
@@ -168,6 +179,7 @@ class DynamicInstruction:
 
         self.issued = False
         self.completed = False
+        self.woke = False
 
         self.fetch_cycle = fetch_cycle
 

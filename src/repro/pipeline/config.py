@@ -34,6 +34,17 @@ def _telemetry_default() -> bool:
     return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
 
 
+def _kernel_default() -> str:
+    """Default of ``ProcessorConfig.kernel``: the REPRO_KERNEL env var.
+
+    ``array`` (the default) selects the array-backed stage kernel;
+    ``object`` selects the pinned pre-array snapshot
+    (:mod:`repro.pipeline.stages.objectkernel`).  Env-var based for the
+    same worker-inheritance reason as ``REPRO_SANITIZE``.
+    """
+    return os.environ.get("REPRO_KERNEL", "") or "array"
+
+
 @dataclass
 class ProcessorConfig:
     """All microarchitectural parameters of the simulated processor."""
@@ -113,6 +124,14 @@ class ProcessorConfig:
     # kernel's own statistics — so it is excluded from cache fingerprints.
     telemetry: bool = field(default_factory=_telemetry_default)
 
+    # Stage-kernel representation: "array" (flat latch/completion arrays,
+    # cycle-skip fast-forward) or "object" (the pinned pre-array snapshot
+    # in repro/pipeline/stages/objectkernel.py).  Never affects results —
+    # the kernels are bit-identical (tests/test_kernel_equivalence.py and
+    # the 38 golden fingerprints enforce it) — so it is excluded from
+    # cache fingerprints like sanitize/telemetry.
+    kernel: str = field(default_factory=_kernel_default)
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -140,6 +159,10 @@ class ProcessorConfig:
             raise ConfigurationError("extra latencies must be non-negative")
         if self.frequency_hz <= 0:
             raise ConfigurationError("frequency must be positive")
+        if self.kernel not in ("array", "object"):
+            raise ConfigurationError(
+                f"kernel must be 'array' or 'object', got {self.kernel!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry

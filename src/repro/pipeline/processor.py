@@ -61,6 +61,7 @@ from repro.core.throttler import NullController, SpeculationController
 from repro.errors import ConfigurationError, SimulationError
 from repro.frontend.supply import CompiledSupply, InstructionSupply
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.arrays import CompletionWheel, LatchArray, completion_span
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.iq import IssueQueue
 from repro.pipeline.lsq import LoadStoreQueue
@@ -225,13 +226,23 @@ class ThreadContext:
         self.unresolved_mispredicts = 0
         self.fetch_buffer = fetch_buffer
 
-        # In-order front-end latches (fetch->decode, decode->rename).
-        # The backing deques are mutated in place and never rebound, so
-        # the stage hot loops alias them directly.
-        self.fetch_latch = PipeLatch()
-        self.decode_latch = PipeLatch()
-        self.fetch_entries = self.fetch_latch.entries
-        self.decode_entries = self.decode_latch.entries
+        # In-order front-end latches (fetch->decode, decode->rename),
+        # built to match the configured stage-kernel representation: flat
+        # instrs/stamps columns for the array kernel, per-instruction
+        # deques for the pinned object kernel.  The backing containers
+        # are mutated in place and never rebound, so the stage hot loops
+        # alias them directly.  ``fetch_entries``/``decode_entries`` stay
+        # the public iteration/len view either way (probes, tests).
+        if config.kernel == "object":
+            self.fetch_latch = PipeLatch()
+            self.decode_latch = PipeLatch()
+            self.fetch_entries = self.fetch_latch.entries
+            self.decode_entries = self.decode_latch.entries
+        else:
+            self.fetch_latch = LatchArray()
+            self.decode_latch = LatchArray()
+            self.fetch_entries = self.fetch_latch
+            self.decode_entries = self.decode_latch
 
         # Back-end partition.
         self.renamer = RegisterRenamer()
@@ -260,7 +271,7 @@ class ThreadContext:
     @property
     def front_end_occupancy(self) -> int:
         """Instructions currently in the in-order front-end latches."""
-        return len(self.fetch_latch.entries) + len(self.decode_latch.entries)
+        return len(self.fetch_latch) + len(self.decode_latch)
 
     @property
     def in_flight(self) -> int:
@@ -352,8 +363,15 @@ class Processor:
         self.seq = 0
 
         self.fu_pool = FunctionalUnitPool(config)
-        # Execute -> writeback latch.
-        self.completions = CompletionLatch()
+        # Execute -> writeback latch: a power-of-2 timing ring for the
+        # array kernel, the original dict of buckets for the pinned
+        # object kernel.
+        if config.kernel == "object":
+            self.completions = CompletionLatch()
+        else:
+            self.completions = CompletionWheel(
+                completion_span(config, self.memory.tlb.miss_penalty)
+            )
 
         # Incremental occupancy: total ROB/IQ/LSQ entries over all threads,
         # updated by the stages at dispatch/issue/commit/squash.
@@ -383,7 +401,15 @@ class Processor:
             self.total_rob_size = self.shared_caps[0]
         else:
             self.total_rob_size = sum(thread.rob.size for thread in self.threads)
-        self.scheduler = CycleScheduler(self)
+        if self.config.kernel == "object":
+            # The pinned pre-array snapshot (A/B benchmarking and the
+            # kernel-equivalence tests); lazy import keeps it off the
+            # default path entirely.
+            from repro.pipeline.stages.objectkernel import ObjectCycleScheduler
+
+            self.scheduler = ObjectCycleScheduler(self)
+        else:
+            self.scheduler = CycleScheduler(self)
         # Sanitize/telemetry dispatch is chosen once here, so the
         # per-cycle loops carry no mode branch and a run with both
         # modes off costs nothing extra.

@@ -19,9 +19,11 @@ the incremental bookkeeping the hot loops maintain:
   physical destinations of its uncompleted ROB entries: no tag leaks
   when its producer completes, commits or is squashed (tag-space
   conservation, the unbounded-tag analogue of free-list conservation).
-* ``latch-monotone`` — ``latch_ready`` stamps never decrease from head
-  to tail of a front-end latch (entries are stamped before insertion
-  and drain in order).
+* ``latch-monotone`` — ready stamps never decrease from head to tail of
+  a front-end latch (entries are stamped before insertion and drain in
+  order); read through the latch's ``iter_with_stamps`` protocol, which
+  covers both the array kernel's stamp column and the object kernel's
+  on-instruction stamp.
 * ``latch-order`` — sequence numbers strictly increase within a latch.
 * ``energy-ledger`` — with per-thread attribution on, the per-thread
   retirement ledger sums back to the shared totals: wasted joules to
@@ -105,8 +107,8 @@ def check_invariants(kernel, stage: str, cycle: int) -> None:
                 f"(stale={stale}, lost={lost})",
             )
 
-        _check_latch(thread, thread.fetch_entries, "fetch", stage, cycle)
-        _check_latch(thread, thread.decode_entries, "decode", stage, cycle)
+        _check_latch(thread, thread.fetch_latch, "fetch", stage, cycle)
+        _check_latch(thread, thread.decode_latch, "decode", stage, cycle)
 
     if rob_total != kernel.rob_count:
         _fail(
@@ -128,11 +130,14 @@ def check_invariants(kernel, stage: str, cycle: int) -> None:
         )
 
 
-def _check_latch(thread, entries, latch_name: str, stage: str, cycle: int) -> None:
+def _check_latch(thread, latch, latch_name: str, stage: str, cycle: int) -> None:
+    # ``iter_with_stamps`` is the shared latch-inspection protocol: the
+    # array latch keeps the ready stamp in its own column, the object
+    # latch on the instruction; the sanitizer checks both without
+    # knowing which.
     last_ready = -1
     last_seq = -1
-    for instr in entries:
-        ready = instr.latch_ready
+    for instr, ready in latch.iter_with_stamps():
         if ready < last_ready:
             _fail(
                 "latch-monotone", stage, cycle,

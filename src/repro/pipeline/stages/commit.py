@@ -5,24 +5,32 @@ program order up to the machine's commit width (threads take turns in a
 cycle-rotated order so no thread systematically eats the width first),
 performing the architectural side effects: store D-cache access, LSQ
 release, predictor/estimator/BTB training for conditional branches, and
-power crediting of the retired instruction's access tally.
+power crediting of the retired instruction.
+
+The array kernel stores no per-instruction access tally; the two cold
+crediting paths that need one (per-thread energy attribution, squash
+accounting) reconstruct it on demand with
+:func:`repro.pipeline.arrays.materialize_tally`, and front-end latch
+squashes — whose tally is always one I-cache access plus a predictor
+access for branches — skip even that and credit the two units directly.
 
 Recovery also lives here: when writeback resolves a mispredicted branch,
 :meth:`CommitRecoverStage.recover` squashes the thread's younger
-instructions (ROB, IQ, both front-end latches), repairs the rename map,
-predictor history and RAS from the branch's checkpoints, and re-points the
-thread's fetch cursor at the branch's recorded resume position.
+instructions (ROB, IQ, both front-end latch columns), repairs the rename
+map, predictor history and RAS from the branch's checkpoints, and
+re-points the thread's fetch cursor at the branch's recorded resume
+position.
 """
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.errors import SimulationError
 from repro.isa.instruction import DynamicInstruction
+from repro.pipeline.arrays import materialize_tally
 from repro.pipeline.stages.base import Stage
 from repro.power.units import PowerUnit
 
+_ICACHE = int(PowerUnit.ICACHE)
 _BPRED = int(PowerUnit.BPRED)
 _REGFILE = int(PowerUnit.REGFILE)
 _DCACHE = int(PowerUnit.DCACHE)
@@ -30,18 +38,6 @@ _DCACHE2 = int(PowerUnit.DCACHE2)
 
 # Commit distance between supply prunes of the consumed true-path stream.
 _PRUNE_INTERVAL = 8192
-
-# The two tally shapes wrong-path work squashed in the front-end latches
-# almost always carries: one I-cache access (plain instructions), or one
-# I-cache plus one predictor access (conditional branches).  A C-level
-# list comparison routes them past the 11-unit attribution loop.
-_TALLY_ICACHE_ONLY = [
-    1 if unit == int(PowerUnit.ICACHE) else 0 for unit in range(11)
-]
-_TALLY_ICACHE_BPRED = [
-    1 if unit in (int(PowerUnit.ICACHE), _BPRED) else 0 for unit in range(11)
-]
-_ICACHE = int(PowerUnit.ICACHE)
 
 
 class CommitRecoverStage(Stage):
@@ -112,18 +108,16 @@ class CommitRecoverStage(Stage):
             entries.popleft()
             if observer is not None:
                 head.commit_cycle = cycle
-            tally = head.unit_accesses
             if head.phys_dest >= 0:
                 regfile_writes += 1
-                tally[_REGFILE] += 1
             static = head.static
+            store_miss = False
             if static.is_store:
                 _, l1_hit = memory.store_data(head.mem_address)
                 dcache_accesses += 1
-                tally[_DCACHE] += 1
                 if not l1_hit:
                     dcache2_accesses += 1
-                    tally[_DCACHE2] += 1
+                    store_miss = True
                 lsq.release()
                 freed_lsq += 1
             elif static.is_load:
@@ -133,7 +127,9 @@ class CommitRecoverStage(Stage):
                 branch_commits += 1
                 self._commit_branch(thread, head)
             if attribute:
-                power.credit_committed(head, cycle)
+                power.credit_committed(
+                    head, cycle, materialize_tally(head, True, True, store_miss)
+                )
             else:
                 fetch_cycle = head.fetch_cycle
                 if fetch_cycle >= 0 and cycle > fetch_cycle:
@@ -176,7 +172,6 @@ class CommitRecoverStage(Stage):
             stats.mispredictions_committed += 1
             thread.mispredictions_committed += 1
         thread.bpred.train(instr.pc, instr.actual_taken, instr.bpred_snapshot)
-        instr.unit_accesses[_BPRED] += 1
         if thread.confidence is not None:
             thread.confidence.train(
                 instr.pc, correct, instr.bpred_snapshot, taken=instr.actual_taken
@@ -201,16 +196,26 @@ class CommitRecoverStage(Stage):
             self.kernel.rob_count -= len(backend)
             self._squash_many(thread, backend, cycle, in_backend=True)
         thread.iq.squash_younger(branch.seq)
-        if thread.fetch_latch.entries:
+        # The latch columns: squash the live window (``head`` onward) and
+        # drop the columns wholesale.
+        fetch_latch = thread.fetch_latch
+        if fetch_latch.head < len(fetch_latch.instrs):
             self._squash_many(
-                thread, thread.fetch_latch.entries, cycle, in_backend=False
+                thread,
+                fetch_latch.instrs[fetch_latch.head:],
+                cycle,
+                in_backend=False,
             )
-            thread.fetch_latch.clear()
-        if thread.decode_latch.entries:
+            fetch_latch.clear()
+        decode_latch = thread.decode_latch
+        if decode_latch.head < len(decode_latch.instrs):
             self._squash_many(
-                thread, thread.decode_latch.entries, cycle, in_backend=False
+                thread,
+                decode_latch.instrs[decode_latch.head:],
+                cycle,
+                in_backend=False,
             )
-            thread.decode_latch.clear()
+            decode_latch.clear()
 
         # Architectural repair.
         thread.renamer.restore(branch.rename_checkpoint)
@@ -259,34 +264,30 @@ class CommitRecoverStage(Stage):
         freed_iq = 0
         freed_lsq = 0
         # Two loop variants keyed on the (per-call constant) residency:
-        # front-end latch squashes — the bulk of every recovery — skip
-        # the back-end bookkeeping branchlessly and route their two
-        # dominant tally shapes (one I-cache access; I-cache + predictor
-        # for conditional branches) past the 11-unit attribution loop
-        # (``accesses * energy`` with ``accesses == 1`` is exactly
-        # ``energy``, so the shortcut accumulates bit-identical floats).
+        # front-end latch squashes — the bulk of every recovery — carry
+        # exactly one I-cache access plus one predictor access for
+        # control instructions, so the credit is two direct accumulates
+        # with no tally at all (``accesses * energy`` with
+        # ``accesses == 1`` is exactly ``energy``, so the shortcut
+        # accumulates bit-identical floats); back-end residents
+        # materialize their tally and walk it ascending-unit, matching
+        # the object kernel's attribution order.
         if not in_backend:
+            icache_energy = energy_per_access[_ICACHE]
+            bpred_energy = energy_per_access[_BPRED]
             for instr in instrs:
                 instr.squashed = True
                 count += 1
                 if attribute:
-                    power.credit_squashed(instr, cycle)
+                    power.credit_squashed(
+                        instr, cycle, materialize_tally(instr, False)
+                    )
                 else:
-                    tally = instr.unit_accesses
-                    if tally is not None:
-                        if tally == _TALLY_ICACHE_ONLY:
-                            wasted[_ICACHE] += energy_per_access[_ICACHE]
-                            squashed_accesses[_ICACHE] += 1
-                        elif tally == _TALLY_ICACHE_BPRED:
-                            wasted[_ICACHE] += energy_per_access[_ICACHE]
-                            squashed_accesses[_ICACHE] += 1
-                            wasted[_BPRED] += energy_per_access[_BPRED]
-                            squashed_accesses[_BPRED] += 1
-                        else:
-                            for unit, accesses in enumerate(tally):
-                                if accesses:
-                                    wasted[unit] += accesses * energy_per_access[unit]
-                                    squashed_accesses[unit] += accesses
+                    wasted[_ICACHE] += icache_energy
+                    squashed_accesses[_ICACHE] += 1
+                    if instr.static.is_branch:
+                        wasted[_BPRED] += bpred_energy
+                        squashed_accesses[_BPRED] += 1
                     fetch_cycle = instr.fetch_cycle
                     if cycle > fetch_cycle >= 0:
                         wasted_cycles += cycle - fetch_cycle
@@ -298,24 +299,24 @@ class CommitRecoverStage(Stage):
                         thread.lowconf_inflight -= 1
                     if squash_hook:
                         thread.controller.on_branch_squashed(instr)
-                    # A mispredicted branch that already resolved was
-                    # discounted at resolution; only still-outstanding
-                    # ones are discounted here.
-                    if instr.mispredicted and not instr.completed:
+                    # A mispredicted branch still in a front-end latch can
+                    # never have resolved; it is always discounted here.
+                    if instr.mispredicted:
                         thread.unresolved_mispredicts -= 1
         else:
             for instr in instrs:
                 instr.squashed = True
                 count += 1
                 if attribute:
-                    power.credit_squashed(instr, cycle)
+                    power.credit_squashed(
+                        instr, cycle, materialize_tally(instr, True)
+                    )
                 else:
-                    tally = instr.unit_accesses
-                    if tally is not None:
-                        for unit, accesses in enumerate(tally):
-                            if accesses:
-                                wasted[unit] += accesses * energy_per_access[unit]
-                                squashed_accesses[unit] += accesses
+                    tally = materialize_tally(instr, True)
+                    for unit, accesses in enumerate(tally):
+                        if accesses:
+                            wasted[unit] += accesses * energy_per_access[unit]
+                            squashed_accesses[unit] += accesses
                     fetch_cycle = instr.fetch_cycle
                     if cycle > fetch_cycle >= 0:
                         wasted_cycles += cycle - fetch_cycle

@@ -14,9 +14,17 @@ rename drains the decode latch before decode refills it):
   speculation controller may hold instructions younger than a throttling
   branch (the paper's decode throttling), and hand them to the decode
   latch with the configured decode→rename delay.
+
+Both latches are :class:`~repro.pipeline.arrays.LatchArray` columns:
+rename walks ``instrs``/``stamps`` by head index, and the decode move —
+which touches no per-instruction state unless gated or observed — takes
+the whole elapsed-stamp run en bloc with a ``bisect`` on the stamp
+column and two list ``extend`` calls.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
 
 from repro.isa.registers import REG_ZERO as _REG_ZERO
 from repro.pipeline.stages.base import Stage
@@ -55,11 +63,14 @@ class DecodeRenameStage(Stage):
         threads = self.kernel.threads
         count = len(threads)
         if count == 1:
-            # Skip the stage calls outright on latch-empty cycles.
+            # Skip the stage calls outright on latch-empty cycles (the
+            # head/len probe is two C-level loads, no method call).
             thread = threads[0]
-            if thread.decode_entries:
+            decode_latch = thread.decode_latch
+            if decode_latch.head < len(decode_latch.instrs):
                 self._rename_thread(thread, cycle, activity, self.width)
-            if thread.fetch_entries:
+            fetch_latch = thread.fetch_latch
+            if fetch_latch.head < len(fetch_latch.instrs):
                 self._decode_thread(thread, cycle, self.width)
             return
         budget = self.width
@@ -81,8 +92,12 @@ class DecodeRenameStage(Stage):
 
     def _rename_thread(self, thread, cycle: int, activity, budget: int) -> int:
         kernel = self.kernel
-        pipe = thread.decode_entries
-        if not pipe:
+        latch = thread.decode_latch
+        instrs = latch.instrs
+        stamps = latch.stamps
+        head = latch.head
+        tail = len(instrs)
+        if head == tail:
             return 0
         rob = thread.rob
         rob_entries = rob.entries
@@ -109,19 +124,18 @@ class DecodeRenameStage(Stage):
         pending_tags = renamer.pending_tags
         shared_caps = kernel.shared_caps
         has_shared_caps = shared_caps is not None
-        popleft = pipe.popleft
         append_rob = rob_entries.append
         append_ready = iq_ready.append
         stamp = kernel.observer is not None
         renamed = 0
         mem_renamed = 0
         regfile_reads = 0
-        while renamed < limit and pipe:
-            instr = pipe[0]
-            if instr.latch_ready > cycle:
+        while renamed < limit and head < tail:
+            if stamps[head] > cycle:
                 break
+            instr = instrs[head]
             if instr.squashed:
-                popleft()
+                head += 1
                 continue
             static = instr.static
             is_mem = static.is_mem
@@ -136,7 +150,7 @@ class DecodeRenameStage(Stage):
                     or (is_mem and kernel.lsq_count + mem_renamed >= shared_caps[2])
                 ):
                     break
-            popleft()
+            head += 1
             if stamp:
                 instr.rename_cycle = cycle
             # Back-end slots (issue/completion state, physical dest) are
@@ -145,6 +159,7 @@ class DecodeRenameStage(Stage):
             # in the front-end latches never pays for them).
             instr.issued = False
             instr.completed = False
+            instr.woke = False
 
             # Rename (RegisterRenamer.rename, inlined): map sources to
             # producing tags, collect the still-pending ones as the wakeup
@@ -161,6 +176,7 @@ class DecodeRenameStage(Stage):
                             waits = [tag]
                         else:
                             waits.append(tag)
+                regfile_reads += len(static_sources)
             dest = static.dest
             if dest is not None and dest != _REG_ZERO:
                 tag = instr.seq
@@ -170,20 +186,12 @@ class DecodeRenameStage(Stage):
             else:
                 instr.phys_dest = -1
 
-            tally = instr.unit_accesses
-            tally[_RENAME] += 1
-            source_reads = len(static_sources)
-            if source_reads:
-                regfile_reads += source_reads
-                tally[_REGFILE] += source_reads
-            tally[_WINDOW] += 1
             if static.is_cond_branch:
                 instr.rename_checkpoint = rmap.copy()
             append_rob(instr)
             if is_mem:
                 lsq.occupied += 1
                 mem_renamed += 1
-                tally[_LSQ] += 1
 
             # Dispatch (IssueQueue.dispatch, inlined): park behind pending
             # source tags, or go straight to the ready list.
@@ -200,6 +208,7 @@ class DecodeRenameStage(Stage):
             if pending == 0:
                 append_ready(instr)
             renamed += 1
+        latch.advance(head)
         if renamed:
             activity[_RENAME] += renamed
             activity[_WINDOW] += renamed
@@ -219,23 +228,49 @@ class DecodeRenameStage(Stage):
     # ------------------------------------------------------------------
 
     def _decode_thread(self, thread, cycle: int, budget: int) -> int:
-        pipe = thread.fetch_entries
-        if not pipe:
+        latch = thread.fetch_latch
+        instrs = latch.instrs
+        head = latch.head
+        tail = len(instrs)
+        if head == tail:
             return 0
+        stamps = latch.stamps
         kernel = self.kernel
-        out_append = thread.decode_entries.append
-        popleft = pipe.popleft
+        out = thread.decode_latch
         ready_cycle = cycle + self.decode_to_rename_latency
         gated = thread.ctrl_blocks_decode
-        controller = thread.controller
         stamp = kernel.observer is not None
+        limit = head + budget
+        if limit > tail:
+            limit = tail
+        if not gated and not stamp:
+            # En-bloc fast path: the elapsed-stamp prefix moves in two
+            # list extends.  Stamps are monotone (single producer at a
+            # constant latency), so the common whole-window case is one
+            # tail comparison and anything else one bisect.  Squashed
+            # entries cannot be resident: recovery marks and clears both
+            # latches in the same call, before this stage runs.
+            if stamps[limit - 1] <= cycle:
+                end = limit
+            else:
+                end = bisect_right(stamps, cycle, head, limit)
+            moved = end - head
+            if moved:
+                out.instrs.extend(instrs[head:end])
+                out.stamps.extend([ready_cycle] * moved)
+                latch.advance(end)
+                kernel.stats.decoded += moved
+            return moved
+        controller = thread.controller
+        out_instrs = out.instrs
+        out_stamps = out.stamps
         moved = 0
-        while moved < budget and pipe:
-            instr = pipe[0]
-            if instr.latch_ready > cycle:
+        while moved < budget and head < tail:
+            if stamps[head] > cycle:
                 break
+            instr = instrs[head]
             if instr.squashed:
-                popleft()
+                head += 1
                 continue
             if gated and controller.blocks_decode(cycle, instr):
                 # Count a throttled cycle once, whichever thread stalls.
@@ -243,12 +278,13 @@ class DecodeRenameStage(Stage):
                     self._throttled_cycle = cycle
                     kernel.stats.decode_throttled_cycles += 1
                 break
-            popleft()
+            head += 1
             if stamp:
                 instr.decode_cycle = cycle
-            instr.latch_ready = ready_cycle
-            out_append(instr)
+            out_instrs.append(instr)
+            out_stamps.append(ready_cycle)
             moved += 1
+        latch.advance(head)
         if moved:
             kernel.stats.decoded += moved
         return moved

@@ -1,12 +1,16 @@
 """Execute/writeback: result broadcast and branch resolution.
 
 Issued instructions sit in the kernel's
-:class:`~repro.pipeline.stages.latch.CompletionLatch` until their
-completion cycle arrives; this stage drains the cycle's bin in fetch
+:class:`~repro.pipeline.arrays.CompletionWheel` until their completion
+cycle arrives; this stage drains the cycle's ring slot in fetch
 (sequence) order, marks results complete, broadcasts destination tags into
 the owning thread's issue-queue wakeup network, and resolves conditional
 branches — notifying the thread's speculation controller and invoking the
 commit stage's recovery path for mispredictions.
+
+The drain is one masked ring index and a slot rebind; a broadcast that
+woke dependents records ``instr.woke`` (the array kernel derives the
+window-wakeup power access from the flag instead of a stored tally).
 """
 
 from __future__ import annotations
@@ -21,9 +25,11 @@ _RESULTBUS = int(PowerUnit.RESULTBUS)
 
 _BY_SEQ = attrgetter("seq")
 
+_FRESH_SLOT: list = []
+
 
 class ExecuteWritebackStage(Stage):
-    """Drain the completion latch; wake dependents; resolve branches."""
+    """Drain the completion wheel; wake dependents; resolve branches."""
 
     name = "writeback"
 
@@ -40,9 +46,20 @@ class ExecuteWritebackStage(Stage):
         # into it through this explicit reference.
         self.recovery = recovery
         self.buckets = kernel.completions.buckets
+        self.ring_mask = kernel.completions.mask
+        self.far_buckets = kernel.completions.far_buckets
 
     def tick(self, cycle: int, activity) -> None:
-        events = self.buckets.pop(cycle, None)
+        ring = self.buckets
+        index = cycle & self.ring_mask
+        events = ring[index]
+        if events:
+            ring[index] = []
+        far = self.far_buckets
+        if far:
+            extra = far.pop(cycle, None)
+            if extra:
+                events = events + extra if events else extra
         if not events:
             return
         if len(events) > 1:
@@ -69,7 +86,6 @@ class ExecuteWritebackStage(Stage):
                 if tag >= 0:
                     pending_tags.discard(tag)  # mark_completed
                     broadcasts += 1
-                    instr.unit_accesses[_RESULTBUS] += 1
                     waiting = waiters.pop(tag, None)
                     if waiting is not None:
                         woken = 0
@@ -85,7 +101,7 @@ class ExecuteWritebackStage(Stage):
                         iq.wakeup_broadcasts += 1
                         if woken:
                             wakeups += 1
-                            instr.unit_accesses[_WINDOW] += 1
+                            instr.woke = True
                 if instr.static.is_cond_branch:
                     if instr.lowconf:
                         instr.lowconf = False
@@ -112,11 +128,10 @@ class ExecuteWritebackStage(Stage):
                 # RegisterRenamer.mark_completed, inlined.
                 thread.renamer.pending_tags.discard(tag)
                 activity[_RESULTBUS] += 1
-                instr.unit_accesses[_RESULTBUS] += 1
                 woken = thread.iq.wakeup(tag)
                 if woken:
                     activity[_WINDOW] += 1
-                    instr.unit_accesses[_WINDOW] += 1
+                    instr.woke = True
             if instr.static.is_cond_branch:
                 if instr.lowconf:
                     instr.lowconf = False

@@ -98,9 +98,12 @@ class FetchStage(Stage):
         if thread.ctrl_blocks_wp_fetch and thread.fetch_mode == "wrong":
             # Oracle fetch: wait at the misprediction until resolution.
             return
-        fetch_entries = thread.fetch_entries
+        fetch_latch = thread.fetch_latch
+        decode_latch = thread.decode_latch
         capacity = (
-            thread.fetch_buffer - len(fetch_entries) - len(thread.decode_entries)
+            thread.fetch_buffer
+            - (len(fetch_latch.instrs) - fetch_latch.head)
+            - (len(decode_latch.instrs) - decode_latch.head)
         )
         if capacity <= 0:
             return
@@ -130,7 +133,8 @@ class FetchStage(Stage):
         true_records = supply._records
         true_base = supply._base
         num_records = len(true_records)
-        append_instr = fetch_entries.append
+        append_instr = fetch_latch.instrs.append
+        append_stamp = fetch_latch.stamps.append
 
         fetched = 0
         wrong_path = 0
@@ -207,15 +211,13 @@ class FetchStage(Stage):
             instr.on_wrong_path = on_wrong
             instr.squashed = False
             seq += 1
-            instr.unit_accesses = tally = [0] * 11
             if mem_address:
                 instr.mem_address = mem_address + mem_offset
             if on_true:
                 instr.true_index = true_index
-            tally[_ICACHE] = 1  # the tally is freshly zeroed
 
-            instr.latch_ready = ready_cycle
             append_instr(instr)
+            append_stamp(ready_cycle)
             fetched += 1
             if static.is_branch:
                 branches += 1
@@ -279,7 +281,6 @@ class FetchStage(Stage):
         stats = self.kernel.stats
         instr.actual_taken = actual_taken
         instr.actual_target = actual_target
-        instr.unit_accesses[_BPRED] += 1
         stop_after = False
         pc = instr.pc = instr.static.address
 
@@ -287,10 +288,6 @@ class FetchStage(Stage):
             instr.lowconf = False
             instr.confidence = None
             instr.throttle_token = None
-            # Squash recovery reads ``completed`` on latch-resident
-            # conditional branches; every other instruction gets its
-            # back-end slots at rename/dispatch.
-            instr.completed = False
             stats.cond_branches_fetched += 1
             prediction = thread.bpred.predict(pc)
             instr.predicted_taken = prediction.taken

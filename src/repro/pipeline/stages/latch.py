@@ -51,6 +51,17 @@ class PipeLatch:
     def __iter__(self):
         return iter(self.entries)
 
+    def iter_with_stamps(self):
+        """Yield ``(instr, ready_cycle)`` pairs, head to tail.
+
+        The shared latch-inspection protocol with
+        :class:`repro.pipeline.arrays.LatchArray` (which stores stamps in
+        a parallel column): the sanitizer checks stamp monotonicity
+        through this iterator without knowing the representation.
+        """
+        for instr in self.entries:
+            yield instr, instr.latch_ready
+
     def clear(self) -> None:
         """Drop every entry (squash recovery)."""
         self.entries.clear()
@@ -66,3 +77,9 @@ class CompletionLatch:
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self.buckets.values())
+
+    def pending_at(self, cycle: int) -> int:
+        """Instructions scheduled to complete at ``cycle`` (probe API,
+        shared with :class:`repro.pipeline.arrays.CompletionWheel`)."""
+        bucket = self.buckets.get(cycle)
+        return len(bucket) if bucket is not None else 0

@@ -9,6 +9,22 @@ activity array is integrated by the power model (clock-tree power driven
 by ROB occupancy from the kernel's incremental counter — no per-cycle
 rescan of the threads), and the cycle counter advances.
 
+**Cycle-skip fast-forward.**  On a single-thread machine a long D-cache
+or redirect stall leaves the whole pipeline provably inert: both
+front-end latch columns empty, no ready instruction, the ROB head not
+completed, and nothing due out of the completion wheel this cycle.
+Every stage tick is then a no-op and the cycle close is the power
+model's idle accumulation — so the scheduler scans the wheel for the
+next event (a non-empty ring slot within the horizon identifies its
+cycle exactly), advances the statistics, power residency and throttle
+residency for the whole stretch in closed form, and jumps.  The batch
+bookkeeping reuses the per-cycle arithmetic (the power model loops its
+own ``end_cycle``), so a fast-forwarded run is bit-identical to a
+stepped one.  The skip arms only while fetch cannot run: during a
+fetch stall (``fetch_stall_until``), or — for the oracle controller,
+which waits at a misprediction instead of fetching wrong-path work —
+while the thread sits on the wrong path.
+
 The scheduler holds the stage components as plain attributes, so tests
 and future scenarios can wrap or replace a single stage without touching
 the kernel.
@@ -32,6 +48,7 @@ class CycleScheduler:
         "kernel", "total_rob_size",
         "commit", "writeback", "issue", "decode_rename", "fetch",
         "stages",
+        "_solo", "_oracle_skip", "_ring", "_mask", "_far",
     )
 
     def __init__(self, kernel) -> None:
@@ -55,11 +72,110 @@ class CycleScheduler:
             self.decode_rename,
             self.fetch,
         )
+        # Fast-forward state: single-thread machines only (an SMT core's
+        # fetch arbitration and shared-cap interplay make per-cycle
+        # inertness thread-coupled, and its stalls overlap anyway).
+        completions = kernel.completions
+        self._ring = completions.buckets
+        self._mask = completions.mask
+        self._far = completions.far_buckets
+        threads = kernel.threads
+        if len(threads) == 1:
+            self._solo = threads[0]
+            # The oracle-wait skip must not bypass a fetch-gating
+            # controller: gating is consulted (and counts a throttled
+            # cycle) before the wrong-path check in the fetch stage.
+            self._oracle_skip = (
+                self._solo.ctrl_blocks_wp_fetch
+                and not self._solo.ctrl_gates_fetch
+            )
+        else:
+            self._solo = None
+            self._oracle_skip = False
+
+    # ------------------------------------------------------------------
+    # Cycle-skip fast-forward
+    # ------------------------------------------------------------------
+
+    def _try_fast_forward(self, thread, cycle: int, limit: int) -> int:
+        """Idle-cycle count to jump, or 0 when any stage might do work.
+
+        The caller established that fetch cannot run before ``limit``.
+        The remaining guards prove every other stage is a no-op: empty
+        latch columns (rename and decode idle), an empty ready list
+        (select/issue idle — the deferred FU-pool refresh is observable
+        only through claims), an uncompleted ROB head (commit idle) and
+        an empty wheel slot at the current cycle (writeback idle).  The
+        scan then runs to the next wheel event: within the horizon a
+        non-empty ring slot identifies its event cycle exactly (issue
+        never schedules past ``mask`` cycles out), and any far-bucket
+        event bounds the jump from above.
+        """
+        if thread.fetch_latch.instrs or thread.decode_latch.instrs:
+            return 0
+        if thread.iq.ready_list:
+            return 0
+        entries = thread.rob_entries
+        if entries and entries[0].completed:
+            return 0
+        ring = self._ring
+        mask = self._mask
+        if ring[cycle & mask]:
+            return 0
+        far = self._far
+        if far and cycle in far:
+            return 0
+        bound = cycle + mask
+        if limit > bound:
+            limit = bound
+        end = cycle + 1
+        while end < limit and not ring[end & mask]:
+            end += 1
+        if far:
+            for key in far:
+                if cycle < key < end:
+                    end = key
+        return end - cycle
+
+    def _fast_forward(self, cycle: int, count: int, stalled: bool) -> None:
+        """Close ``count`` idle cycles in one batch (bit-identical to
+        stepping them: constant occupancy, zero activity, and — on a
+        fetch stall — the per-cycle redirect-stall count)."""
+        kernel = self.kernel
+        power = kernel.power
+        in_flight = kernel.rob_count
+        power.end_idle_cycles(in_flight / self.total_rob_size, count)
+        power.total_instr_cycles += in_flight * count
+        stats = kernel.stats
+        if stalled:
+            stats.redirect_stall_cycles += count
+        stats.cycles += count
+        kernel.cycle = cycle + count
+
+    # ------------------------------------------------------------------
+    # The four step variants (construction-time dispatch)
+    # ------------------------------------------------------------------
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
         kernel = self.kernel
         cycle = kernel.cycle
+        solo = self._solo
+        if solo is not None:
+            if cycle < solo.fetch_stall_until:
+                count = self._try_fast_forward(
+                    solo, cycle, solo.fetch_stall_until
+                )
+                if count:
+                    self._fast_forward(cycle, count, True)
+                    return
+            elif self._oracle_skip and solo.fetch_mode == "wrong":
+                count = self._try_fast_forward(
+                    solo, cycle, cycle + self._mask
+                )
+                if count:
+                    self._fast_forward(cycle, count, False)
+                    return
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)
         self.writeback.tick(cycle, activity)
@@ -81,10 +197,33 @@ class CycleScheduler:
         — the plain ``step`` carries no sanitize branch, so runs without
         the mode pay nothing.  The stage sequence and the cycle close
         mirror ``step`` exactly; a sanitized run is bit-identical or
-        raises :class:`~repro.errors.SanitizerError`.
+        raises :class:`~repro.errors.SanitizerError`.  A fast-forwarded
+        stretch is checked once at its last cycle — the structures are
+        untouched across the batch, so one check covers every cycle of
+        it.
         """
         kernel = self.kernel
         cycle = kernel.cycle
+        solo = self._solo
+        if solo is not None:
+            if cycle < solo.fetch_stall_until:
+                count = self._try_fast_forward(
+                    solo, cycle, solo.fetch_stall_until
+                )
+                if count:
+                    self._fast_forward(cycle, count, True)
+                    check_invariants(kernel, "fast-forward", cycle + count - 1)
+                    check_cycle_end(kernel, cycle + count - 1)
+                    return
+            elif self._oracle_skip and solo.fetch_mode == "wrong":
+                count = self._try_fast_forward(
+                    solo, cycle, cycle + self._mask
+                )
+                if count:
+                    self._fast_forward(cycle, count, False)
+                    check_invariants(kernel, "fast-forward", cycle + count - 1)
+                    check_cycle_end(kernel, cycle + count - 1)
+                    return
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)
         check_invariants(kernel, self.commit.name, cycle)
@@ -113,11 +252,31 @@ class CycleScheduler:
         occupancy at cycle top and differences the kernel's statistics at
         cycle bottom (see :class:`repro.telemetry.probes.ProbeBus`); it
         never writes simulation state, so an instrumented run is
-        bit-identical to an uninstrumented one.
+        bit-identical to an uninstrumented one.  A fast-forwarded stretch
+        is sampled once and scaled (``ProbeBus.idle_cycles``) — every
+        per-cycle sample is constant across it.
         """
         kernel = self.kernel
         probes = kernel.probes
         cycle = kernel.cycle
+        solo = self._solo
+        if solo is not None:
+            if cycle < solo.fetch_stall_until:
+                count = self._try_fast_forward(
+                    solo, cycle, solo.fetch_stall_until
+                )
+                if count:
+                    self._fast_forward(cycle, count, True)
+                    probes.idle_cycles(kernel, count, True)
+                    return
+            elif self._oracle_skip and solo.fetch_mode == "wrong":
+                count = self._try_fast_forward(
+                    solo, cycle, cycle + self._mask
+                )
+                if count:
+                    self._fast_forward(cycle, count, False)
+                    probes.idle_cycles(kernel, count, False)
+                    return
         probes.begin_cycle(kernel, cycle)
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)
@@ -138,6 +297,28 @@ class CycleScheduler:
         kernel = self.kernel
         probes = kernel.probes
         cycle = kernel.cycle
+        solo = self._solo
+        if solo is not None:
+            if cycle < solo.fetch_stall_until:
+                count = self._try_fast_forward(
+                    solo, cycle, solo.fetch_stall_until
+                )
+                if count:
+                    self._fast_forward(cycle, count, True)
+                    probes.idle_cycles(kernel, count, True)
+                    check_invariants(kernel, "fast-forward", cycle + count - 1)
+                    check_cycle_end(kernel, cycle + count - 1)
+                    return
+            elif self._oracle_skip and solo.fetch_mode == "wrong":
+                count = self._try_fast_forward(
+                    solo, cycle, cycle + self._mask
+                )
+                if count:
+                    self._fast_forward(cycle, count, False)
+                    probes.idle_cycles(kernel, count, False)
+                    check_invariants(kernel, "fast-forward", cycle + count - 1)
+                    check_cycle_end(kernel, cycle + count - 1)
+                    return
         probes.begin_cycle(kernel, cycle)
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)

@@ -4,7 +4,14 @@ Refreshes the functional-unit pool, then walks the threads in the cycle's
 rotation order letting each thread's issue queue select ready
 instructions oldest-first (honouring slot capacities, MSHR availability
 and the controller's no-select bit), performs load D-cache accesses and
-schedules each issued instruction's writeback into the completion latch.
+schedules each issued instruction's writeback into the completion wheel
+(one masked ring index per scheduled completion).
+
+When no thread has a ready instruction the stage returns before even
+refreshing the FU pool: ``new_cycle`` is only observable through claims
+(it refreshes the availability slots in place and trims the MSHR ledger
+lazily against whatever cycle the next claimer passes), so deferring it
+across ready-empty cycles is invisible.
 """
 
 from __future__ import annotations
@@ -42,9 +49,12 @@ class SelectIssueStage(Stage):
         self.width = kernel.config.issue_width
         self.extra_exec_latency = kernel.config.extra_exec_latency
         # Stable shared structures (never rebound on the kernel; the FU
-        # pool refreshes its availability list in place).
+        # pool refreshes its availability list in place, the completion
+        # wheel rebinds ring slots but never the ring).
         self.memory = kernel.memory
         self.buckets = kernel.completions.buckets
+        self.ring_mask = kernel.completions.mask
+        self.far_buckets = kernel.completions.far_buckets
         self.try_claim_code = kernel.fu_pool.try_claim_code
         self.code_available = kernel.fu_pool._code_available
 
@@ -52,14 +62,23 @@ class SelectIssueStage(Stage):
         kernel = self.kernel
         if kernel.iq_count == 0:
             # No dispatched instruction anywhere, so nothing can be ready
-            # and no slot can be claimed.  The FU-pool refresh is deferred
-            # (``new_cycle`` is only observable through claims, and the
-            # MSHR ledger trims lazily against the then-current cycle).
+            # and no slot can be claimed.
             return
-        fu_pool = kernel.fu_pool
-        fu_pool.new_cycle(cycle)
         threads = kernel.threads
         count = len(threads)
+        if count == 1:
+            if not threads[0].iq.ready_list:
+                # Everything dispatched is waiting on a wakeup; no claim
+                # can happen, so the FU-pool refresh is deferred too.
+                return
+        else:
+            for thread in threads:
+                if thread.iq.ready_list:
+                    break
+            else:
+                return
+        fu_pool = kernel.fu_pool
+        fu_pool.new_cycle(cycle)
         budget = self.width
         for offset in range(count):
             if budget <= 0:
@@ -86,7 +105,8 @@ class SelectIssueStage(Stage):
                 controller_blocks = None
             stats = kernel.stats
             memory = self.memory
-            buckets = self.buckets
+            ring = self.buckets
+            ring_mask = self.ring_mask
             extra_exec = self.extra_exec_latency
             stamp = kernel.observer is not None
             try_claim_code = self.try_claim_code
@@ -129,17 +149,13 @@ class SelectIssueStage(Stage):
                 issued += 1
                 if stamp:
                     instr.issue_cycle = cycle
-                tally = instr.unit_accesses
-                tally[_WINDOW] += 1
-                tally[_ALU] += 1
                 latency = static.latency + extra_exec
                 if static.is_load:
                     mem_latency, l1_hit = memory.load_data(instr.mem_address)
                     dcache_accesses += 1
-                    tally[_DCACHE] += 1
+                    instr.dcache_missed = not l1_hit
                     if not l1_hit:
                         dcache2_accesses += 1
-                        tally[_DCACHE2] += 1
                         # The miss occupies an MSHR until the fill returns;
                         # squashing the load does not recall the fill.
                         if mshr_holds is None:
@@ -148,18 +164,23 @@ class SelectIssueStage(Stage):
                             mshr_holds.append(cycle + mem_latency)
                     latency += mem_latency
                     lsq_accesses += 1
-                    tally[_LSQ] += 1
                 elif static.is_store:
                     lsq_accesses += 1
-                    tally[_LSQ] += 1
                 if instr.on_wrong_path:
                     wrong_path += 1
-                complete = cycle + latency
-                bucket = buckets.get(complete)
-                if bucket is None:
-                    buckets[complete] = [instr]
+                if latency <= ring_mask:
+                    ring[(cycle + latency) & ring_mask].append(instr)
                 else:
-                    bucket.append(instr)
+                    # Beyond the ring horizon (impossible under shipped
+                    # configurations — the ring is sized for the worst
+                    # walk — but kept correct): the far-bucket dict.
+                    far = self.far_buckets
+                    complete = cycle + latency
+                    bucket = far.get(complete)
+                    if bucket is None:
+                        far[complete] = [instr]
+                    else:
+                        bucket.append(instr)
             iq.ready_list = survivors
             if mshr_holds is not None:
                 hold_mshr = fu_pool.hold_mshr

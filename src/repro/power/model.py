@@ -43,6 +43,11 @@ _COUNT_TABLE_SIZE = 64
 
 _ZERO_ACTIVITY = [0] * NUM_UNITS
 
+# Default for the retirement-credit ``tally`` parameter: read the tally
+# stored on the instruction (object kernel).  The array kernel stores no
+# tally and passes a materialized one explicitly.
+_FROM_INSTR: list = []
+
 # (max_watts, ports, cycle_s, style, idle) -> derived constant tables.
 _DERIVED_CACHE: dict = {}
 
@@ -291,6 +296,20 @@ class PowerModel:
         """Record pipeline occupancy for clock-energy attribution."""
         self.total_instr_cycles += in_flight
 
+    def end_idle_cycles(self, occupancy: float, count: int) -> None:
+        """Account ``count`` fully idle cycles at one fixed occupancy.
+
+        The cycle-skip fast-forward batches a stretch of provably idle
+        cycles through this instead of the per-cycle call sites.  It
+        stays a loop over :meth:`end_cycle` — not a closed form — so the
+        accumulation order, and therefore every float, is bit-identical
+        to stepping the cycles one by one under every gating style.
+        """
+        zero = _ZERO_ACTIVITY
+        end_cycle = self.end_cycle
+        for _ in range(count):
+            end_cycle(zero, occupancy)
+
     def _ledger_of(self, instruction: DynamicInstruction) -> List[float]:
         ledger = self._thread_ledger
         thread_id = instruction.thread_id
@@ -314,9 +333,20 @@ class PowerModel:
                 total += count * energy_per_access[unit]
         return total
 
-    def credit_squashed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
-        """Move a squashed instruction's access energy to the wasted pool."""
-        tally = instruction.unit_accesses
+    def credit_squashed(
+        self,
+        instruction: DynamicInstruction,
+        now_cycle: int,
+        tally: List[int] = _FROM_INSTR,
+    ) -> None:
+        """Move a squashed instruction's access energy to the wasted pool.
+
+        ``tally`` defaults to the tally stored on the instruction; the
+        array kernel (which stores none) passes the reconstruction from
+        :func:`repro.pipeline.arrays.materialize_tally` instead.
+        """
+        if tally is _FROM_INSTR:
+            tally = instruction.unit_accesses
         instr_energy = 0.0
         if tally is not None:
             energy_per_access = self._energy_per_access
@@ -336,12 +366,19 @@ class PowerModel:
         if fetch_cycle >= 0 and now_cycle > fetch_cycle:
             self.wasted_instr_cycles += now_cycle - fetch_cycle
 
-    def credit_committed(self, instruction: DynamicInstruction, now_cycle: int) -> None:
+    def credit_committed(
+        self,
+        instruction: DynamicInstruction,
+        now_cycle: int,
+        tally: List[int] = _FROM_INSTR,
+    ) -> None:
         """Record a committed instruction's residency (clock attribution)
         and, when per-thread attribution is on, credit its access energy
-        to its thread's useful pool."""
+        to its thread's useful pool.  ``tally`` as in
+        :meth:`credit_squashed`."""
         if self.attribute_threads:
-            tally = instruction.unit_accesses
+            if tally is _FROM_INSTR:
+                tally = instruction.unit_accesses
             entry = self._ledger_of(instruction)
             if tally is not None:
                 entry[0] += self._tally_energy(tally)

@@ -46,7 +46,6 @@ from repro.core.levels import BandwidthLevel
 from repro.core.throttler import SelectiveThrottler
 
 _LEVEL_NAMES = tuple(level.name for level in BandwidthLevel)
-_EMPTY: tuple = ()
 
 
 class ProbeBus:
@@ -111,11 +110,11 @@ class ProbeBus:
         self.rob_occupancy_sum += kernel.rob_count
         self.iq_occupancy_sum += kernel.iq_count
         self.lsq_occupancy_sum += kernel.lsq_count
-        # Writeback volume must be read before the writeback stage pops
-        # this cycle's completion bucket.
-        self._pending_writebacks = len(
-            kernel.completions.buckets.get(cycle, _EMPTY)
-        )
+        # Writeback volume must be read before the writeback stage drains
+        # this cycle's completion bucket (``pending_at`` is the shared
+        # probe API of the completion wheel and the object kernel's
+        # bucket latch).
+        self._pending_writebacks = kernel.completions.pending_at(cycle)
         thread_rob = self.thread_rob_sum
         for index, thread in enumerate(kernel.threads):
             self.fetch_latch_sum += len(thread.fetch_entries)
@@ -213,6 +212,34 @@ class ProbeBus:
             self.committed += delta
             self.commit_active_cycles += 1
             self._last_committed = value
+
+    def idle_cycles(self, kernel, count: int, stalled: bool) -> None:
+        """Account a fast-forwarded stretch of provably idle cycles.
+
+        The scheduler's cycle-skip only fires when every per-cycle
+        sample is constant across the stretch — latches empty, nothing
+        pending in the completion wheel, occupancies and throttle
+        levels frozen (no stage runs, so no controller hook fires) —
+        so the bus takes each sample once and scales it by ``count``.
+        The stage-delta bookkeeping needs no differencing: the only
+        statistic that moves during the stretch is the fetch
+        redirect-stall counter, folded in (with its last-seen value)
+        immediately so a run ending on a skip still reconciles.
+        """
+        self.cycles += count
+        self.rob_occupancy_sum += kernel.rob_count * count
+        self.iq_occupancy_sum += kernel.iq_count * count
+        self.lsq_occupancy_sum += kernel.lsq_count * count
+        thread_rob = self.thread_rob_sum
+        for index, thread in enumerate(kernel.threads):
+            thread_rob[index] += len(thread.rob_entries) * count
+        residency = self.throttle_residency
+        for controller in self._throttlers:
+            residency[controller._fetch_level] += count
+        residency[0] += self._unthrottled * count
+        if stalled:
+            self.redirect_stall_cycles += count
+            self._last_redirect += count
 
     # ------------------------------------------------------------------
     # Lifecycle and export

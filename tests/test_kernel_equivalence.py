@@ -1,0 +1,174 @@
+"""Property test: the array and object stage kernels are interchangeable.
+
+The golden parity sweep (``test_stage_kernel_parity.py``) pins both
+kernels to 38 known fingerprints on the shipped benchmark generators.
+This test goes beyond the goldens: randomized micro-programs (drawn
+program shapes and seeds) on randomized core geometries are run through
+*both* kernel representations, and every observable — the committed
+instruction sequence, the squash sequence, the full statistics
+dictionary, the power ledgers — must match bit for bit.  A fingerprint
+over the canonical JSON of the whole payload guards anything the
+itemised asserts miss.
+
+Each trial is deterministic (the trial seed fixes the program, the
+geometry and the mechanism), so a failure reproduces by running its
+trial id alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.engine import make_controller
+from repro.pipeline.config import table3_config
+from repro.pipeline.processor import Processor
+from repro.program.generator import ProgramGenerator, ProgramShape
+
+_TRIALS = tuple(range(8))
+_INSTRUCTIONS = 1200
+_WARMUP = 300
+
+# Mechanisms drawn per trial: the empty baseline, a fetch-gating
+# throttle (exercises throttled-cycle accounting), the strongest
+# selection throttle, pipeline gating, and the fetch oracle (exercises
+# the cycle-skip fast-forward's oracle mode).
+_MECHANISMS = (
+    None,
+    ("throttle", "A2"),
+    ("throttle", "C2"),
+    ("gating", 2),
+    ("oracle", "fetch"),
+)
+
+
+def _draw_shape(rng: random.Random) -> ProgramShape:
+    """A compact randomized program shape (micro-program generator)."""
+    return ProgramShape(
+        num_functions=rng.randint(2, 5),
+        blocks_per_function=(4, rng.randint(6, 12)),
+        block_size=(2, rng.randint(4, 9)),
+        p_cond=rng.uniform(0.4, 0.75),
+        p_call=rng.uniform(0.02, 0.10),
+        p_jump=rng.uniform(0.02, 0.12),
+        loop_fraction=rng.uniform(0.15, 0.45),
+        w_bad=rng.uniform(0.02, 0.20),
+        w_random=rng.uniform(0.0, 0.06),
+        serial_chain_fraction=rng.uniform(0.2, 0.6),
+        load_chain_fraction=rng.uniform(0.2, 0.6),
+        branch_load_dependence=rng.uniform(0.3, 0.8),
+    )
+
+
+def _draw_config(rng: random.Random):
+    """A randomized core geometry on top of the Table-3 baseline."""
+    base = table3_config().with_depth(rng.choice((6, 14, 28)))
+    rob = rng.choice((32, 64, 128))
+    return replace(
+        base,
+        rob_size=rob,
+        iq_size=max(16, rob // 2),
+        lsq_size=max(16, rob // 2),
+        fetch_width=rng.choice((4, 8)),
+        issue_width=rng.choice((4, 8)),
+        max_taken_branches_per_cycle=rng.choice((1, 2)),
+        # One trial in four runs both kernels under the sanitized and/or
+        # instrumented steppers, so all four step variants (and their
+        # fast-forward entry gates) get property coverage.
+        sanitize=rng.random() < 0.25,
+        telemetry=rng.random() < 0.25,
+    )
+
+
+class _CommitRecorder:
+    """Observer collecting the committed and squashed event sequences."""
+
+    def __init__(self) -> None:
+        self.commits = []
+        self.squashes = []
+
+    def on_commit(self, instr, cycle: int) -> None:
+        self.commits.append((instr.seq, instr.static.address, cycle))
+
+    def on_squash(self, instr, cycle: int) -> None:
+        self.squashes.append(
+            (instr.seq, instr.static.address, bool(instr.on_wrong_path), cycle)
+        )
+
+
+def _run_kernel(trial: int, kernel: str):
+    """One deterministic trial on the given kernel representation."""
+    rng = random.Random(0x5EED0 + trial)
+    shape = _draw_shape(rng)
+    config = replace(_draw_config(rng), kernel=kernel)
+    spec = rng.choice(_MECHANISMS)
+    program = ProgramGenerator(shape, seed=1000 + trial, name=f"prop{trial}").generate()
+    controller = make_controller(spec) if spec is not None else None
+    processor = Processor(config, program, controller=controller, seed=77 + trial)
+    recorder = _CommitRecorder()
+    processor.observer = recorder
+    stats = processor.run(_INSTRUCTIONS, warmup_instructions=_WARMUP)
+    power = processor.power
+    payload = {
+        "commits": recorder.commits,
+        "squashes": recorder.squashes,
+        "stats": stats.as_dict(),
+        "cycles": processor.cycle,
+        "total_energy": power.total_energy(),
+        "wasted_energy": power.total_wasted_energy(),
+        "average_power": power.average_power(),
+        "breakdown": power.breakdown(),
+        "thread_attribution": power.thread_attribution(),
+    }
+    return payload, spec
+
+
+def _fingerprint(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("trial", _TRIALS)
+def test_random_micro_programs_commit_identically(trial):
+    object_payload, spec = _run_kernel(trial, "object")
+    array_payload, _ = _run_kernel(trial, "array")
+    label = f"trial {trial} ({spec or 'baseline'})"
+    # Itemised asserts first: a divergence names the first differing
+    # observable instead of just a hash mismatch.
+    assert object_payload["commits"] == array_payload["commits"], (
+        f"{label}: committed instruction sequences diverge between kernels"
+    )
+    assert object_payload["squashes"] == array_payload["squashes"], (
+        f"{label}: squash sequences diverge between kernels"
+    )
+    assert object_payload["stats"] == array_payload["stats"], (
+        f"{label}: statistics diverge between kernels"
+    )
+    assert _fingerprint(object_payload) == _fingerprint(array_payload), (
+        f"{label}: full result payloads diverge between kernels"
+    )
+
+
+def test_trials_cover_every_mechanism_and_a_checked_stepper():
+    """The drawn trials must actually exercise the interesting modes."""
+    specs = set()
+    checked = False
+    for trial in _TRIALS:
+        rng = random.Random(0x5EED0 + trial)
+        _draw_shape(rng)
+        config = _draw_config(rng)
+        specs.add(rng.choice(_MECHANISMS))
+        checked = checked or config.sanitize or config.telemetry
+    assert len(specs) >= 3, "trial draws collapse onto too few mechanisms"
+    assert checked, "no trial draws a sanitized or instrumented stepper"
+
+
+def test_commits_are_observed_and_nonempty():
+    payload, _ = _run_kernel(0, "array")
+    assert len(payload["commits"]) >= _INSTRUCTIONS
+    seqs = [seq for seq, _, _ in payload["commits"]]
+    assert seqs == sorted(seqs), "commit sequence must be program-ordered"

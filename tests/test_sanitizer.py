@@ -87,7 +87,9 @@ def test_latch_timestamp_regression_is_caught():
             break
     else:
         pytest.fail("fetch latch never reached two entries")
-    thread.fetch_entries[0].latch_ready = 10**9
+    # The array kernel keeps the ready stamp in the latch's own column.
+    latch = thread.fetch_latch
+    latch.stamps[latch.head] = 10**9
     with pytest.raises(SanitizerError) as exc_info:
         _run_cycles(processor, 5)
     message = str(exc_info.value)
