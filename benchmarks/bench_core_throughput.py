@@ -17,8 +17,11 @@ root::
     # same-process A/B: alternate object-kernel / array-kernel passes
     PYTHONPATH=src python benchmarks/bench_core_throughput.py --interleave
 
-    # CI: fail when the kernel speedup (or, lacking an interleaved
-    # record, absolute committed-IPS) regresses below the record
+    # same-process A/B: cycle-skip off vs on over the stall-heavy suite
+    PYTHONPATH=src python benchmarks/bench_core_throughput.py --skip-interleave
+
+    # CI: fail when the kernel speedup, the cycle-skip speedup, or
+    # (lacking interleaved records) absolute committed-IPS regresses
     PYTHONPATH=src python benchmarks/bench_core_throughput.py --check
 
 The suite is deliberately fixed (benchmarks, mechanisms, run lengths,
@@ -45,7 +48,12 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.engine import SimCell, simulate
+from repro.experiments.engine import (
+    SimCell,
+    make_smt_cell,
+    simulate,
+    simulate_smt,
+)
 from repro.pipeline.config import table3_config
 from repro.workloads.suite import BENCHMARK_NAMES
 
@@ -210,6 +218,116 @@ def measure_interleaved(repeats: int = 3) -> Dict:
     }
 
 
+def skip_suite_cells() -> List[Tuple[str, str, bool, object, object]]:
+    """The fixed cycle-skip A/B suite: (label, kind, mechanism, on, off).
+
+    The solo cells are deliberately stall-heavy — long-memory-latency
+    cores under Pipeline Gating, where fetch gates on every in-flight
+    low-confidence branch and the drained machine waits out cache misses
+    — because those are the workloads the next-event fast-forward
+    exists for.  The SMT cells quiesce machine-wide only rarely, so they
+    double as an overhead guard: the skip must not slow down runs it
+    cannot accelerate.  ``mechanism`` marks the cells whose aggregate
+    ratio the CI gate enforces.
+    """
+    base = table3_config()
+    slow = replace(base, memory_latency=400)
+    solo = [
+        ("go/gating1/memlat400", "go", ("gating", 1), slow),
+        ("go/gating1/memlat400/deep28", "go", ("gating", 1),
+         replace(base.with_depth(28), memory_latency=400)),
+        ("twolf/gating1/memlat400", "twolf", ("gating", 1), slow),
+        ("crafty/gating1/memlat400", "crafty", ("gating", 1), slow),
+        ("twolf/gating2/memlat400", "twolf", ("gating", 2), slow),
+    ]
+    cells: List[Tuple[str, str, bool, object, object]] = []
+    for label, benchmark, spec, config in solo:
+        on = SimCell(
+            benchmark=benchmark, controller_spec=spec,
+            config=replace(config, cycle_skip=True),
+            instructions=_INSTRUCTIONS, warmup=_WARMUP,
+        )
+        off = replace(on, config=replace(config, cycle_skip=False))
+        cells.append((label, "solo", True, on, off))
+    smt_config = replace(base, memory_latency=200)
+    for mix in ("mix2-twins", "mix2-branchy"):
+        cell = make_smt_cell(
+            mix, policy="confidence-gating", config=smt_config,
+            instructions=_INSTRUCTIONS // 2, warmup=_WARMUP // 2,
+        )
+        on = replace(cell, config=replace(smt_config, cycle_skip=True))
+        off = replace(cell, config=replace(smt_config, cycle_skip=False))
+        cells.append((f"{mix}/confidence-gating/memlat200", "smt", False, on, off))
+    return cells
+
+
+def measure_skip_interleaved(repeats: int = 3) -> Dict:
+    """Same-process skip-on vs skip-off A/B over the fixed skip suite.
+
+    Pairing follows ``measure_interleaved``: for every cell the skip-off
+    and skip-on runs are timed back to back and each side keeps its
+    per-cell best over ``repeats`` passes, so the recorded ratios are
+    pure software-speed ratios despite the machine's clock wander.  The
+    simulated work is bit-identical on both sides (``cycle_skip`` is
+    excluded from result fingerprints and proven invisible by the
+    kernel-equivalence suite), so off/on wall-time is exactly the
+    fast-forward's payoff.
+    """
+    cells = skip_suite_cells()
+    best_on = {label: float("inf") for label, *_ in cells}
+    best_off = {label: float("inf") for label, *_ in cells}
+    for _ in range(max(1, repeats)):
+        for label, kind, _, on, off in cells:
+            run = simulate if kind == "solo" else simulate_smt
+            start = time.perf_counter()
+            run(off)
+            off_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            run(on)
+            on_seconds = time.perf_counter() - start
+            best_off[label] = min(best_off[label], off_seconds)
+            best_on[label] = min(best_on[label], on_seconds)
+    rows = [
+        {
+            "cell": label,
+            "kind": kind,
+            "mechanism": mechanism,
+            "off_seconds": best_off[label],
+            "on_seconds": best_on[label],
+            "ratio": best_off[label] / best_on[label],
+        }
+        for label, kind, mechanism, _, _ in cells
+    ]
+    mech_off = sum(row["off_seconds"] for row in rows if row["mechanism"])
+    mech_on = sum(row["on_seconds"] for row in rows if row["mechanism"])
+    total_off = sum(row["off_seconds"] for row in rows)
+    total_on = sum(row["on_seconds"] for row in rows)
+    return {
+        "schema": _SCHEMA,
+        "instructions": _INSTRUCTIONS,
+        "warmup": _WARMUP,
+        "cells": len(rows),
+        "repeats": max(1, repeats),
+        "off_seconds": total_off,
+        "on_seconds": total_on,
+        "ratio": total_off / total_on,
+        "mechanism_ratio": mech_off / mech_on,
+        "per_cell": rows,
+    }
+
+
+def _print_skip_summary(result: Dict) -> None:
+    for row in result["per_cell"]:
+        print(
+            f"  {row['cell']:32s} off {row['off_seconds']:.3f}s "
+            f"on {row['on_seconds']:.3f}s -> {row['ratio']:.2f}x"
+        )
+    print(
+        f"skip fast-forward speedup: {result['ratio']:.2f}x overall, "
+        f"{result['mechanism_ratio']:.2f}x on the gated mechanism cells"
+    )
+
+
 def _load(path: str) -> Dict:
     with open(path) as handle:
         return json.load(handle)
@@ -261,11 +379,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     mode.add_argument(
+        "--skip-interleave", action="store_true",
+        help=(
+            "same-process A/B: alternate cycle-skip-off and cycle-skip-on "
+            "runs over the stall-heavy skip suite and record the "
+            "fast-forward speedup (run after --record; --check then "
+            "gates on it)"
+        ),
+    )
+    mode.add_argument(
         "--check", action="store_true",
         help=(
-            "fail if the interleaved kernel-speedup ratio (or, without "
-            "an interleaved record, absolute committed IPS) drops below "
-            "the record"
+            "fail if the interleaved kernel-speedup ratio, the cycle-skip "
+            "speedup (when recorded), or — without an interleaved record "
+            "— absolute committed IPS drops below the record"
         ),
     )
     parser.add_argument(
@@ -290,28 +417,62 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote interleaved ratio to {path}")
         return 0
 
+    if options.skip_interleave:
+        result = measure_skip_interleaved(repeats=max(2, options.repeats))
+        _print_skip_summary(result)
+        payload = _load(path) if os.path.exists(path) else {"schema": _SCHEMA}
+        payload.setdefault("current", {})["skip"] = result
+        _store(path, payload)
+        print(f"wrote cycle-skip speedup to {path}")
+        return 0
+
     if options.check:
         payload = _load(path)
         interleaved = payload.get("current", {}).get("interleaved")
-        if interleaved:
-            result = measure_interleaved(repeats=max(2, options.repeats))
-            recorded = interleaved["ratio"]
-            floor = recorded * (1.0 - options.tolerance)
-            measured = result["ratio"]
-            print(
-                f"recorded kernel speedup {recorded:.2f}x, floor "
-                f"{floor:.2f}x, measured {measured:.2f}x "
-                f"(object {result['object_ips']:,.0f} / array "
-                f"{result['array_ips']:,.0f} instr/s)"
-            )
-            if measured < floor:
+        skip = payload.get("current", {}).get("skip")
+        if interleaved or skip:
+            status = 0
+            if interleaved:
+                result = measure_interleaved(repeats=max(2, options.repeats))
+                recorded = interleaved["ratio"]
+                floor = recorded * (1.0 - options.tolerance)
+                measured = result["ratio"]
                 print(
-                    "FAIL: array-kernel speedup regressed more than "
-                    f"{options.tolerance:.0%} below BENCH_core.json"
+                    f"recorded kernel speedup {recorded:.2f}x, floor "
+                    f"{floor:.2f}x, measured {measured:.2f}x "
+                    f"(object {result['object_ips']:,.0f} / array "
+                    f"{result['array_ips']:,.0f} instr/s)"
                 )
-                return 1
-            print("OK: kernel speedup within tolerance")
-            return 0
+                if measured < floor:
+                    print(
+                        "FAIL: array-kernel speedup regressed more than "
+                        f"{options.tolerance:.0%} below BENCH_core.json"
+                    )
+                    status = 1
+                else:
+                    print("OK: kernel speedup within tolerance")
+            if skip:
+                result = measure_skip_interleaved(
+                    repeats=max(2, options.repeats)
+                )
+                _print_skip_summary(result)
+                recorded = skip["mechanism_ratio"]
+                floor = recorded * (1.0 - options.tolerance)
+                measured = result["mechanism_ratio"]
+                print(
+                    f"recorded cycle-skip speedup {recorded:.2f}x, floor "
+                    f"{floor:.2f}x, measured {measured:.2f}x"
+                )
+                if measured < floor:
+                    print(
+                        "FAIL: cycle-skip speedup on the gated mechanism "
+                        f"cells regressed more than {options.tolerance:.0%} "
+                        "below BENCH_core.json"
+                    )
+                    status = 1
+                else:
+                    print("OK: cycle-skip speedup within tolerance")
+            return status
         measurement = measure(repeats=options.repeats)
         _print_summary("measured", measurement)
         recorded = payload["current"]["committed_ips"]

@@ -178,6 +178,11 @@ def _make_parser() -> argparse.ArgumentParser:
         "(default: 30)",
     )
     parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="cache prune only: after the age pass, evict oldest entries "
+        "until the cache fits N bytes",
+    )
+    parser.add_argument(
         "--sanitize", action="store_true",
         help="run simulations with the pipeline invariant sanitizer "
         "(occupancy, free-list, latch and energy-ledger checks every "
@@ -265,7 +270,8 @@ def _cmd_list() -> None:
     print("  trace replay PATH [--verify]— replay it through the full pipeline")
     print("  study list|run NAME [NAME..]— declarative studies on the batched")
     print("                                sweep scheduler (one warm pool)")
-    print("  cache info|prune            — inspect / age out the result cache")
+    print("  cache info|prune            — inspect / bound the result cache "
+          "(--days, --max-bytes)")
     print("  check [--format json]       — static analysis: determinism, hot-path")
     print("                                discipline, stage contracts, spec grammar")
     print("  telemetry summary|export|top FILE — validate/aggregate a JSONL")
@@ -523,8 +529,11 @@ def _cmd_check(options) -> int:
 
 
 def _cmd_cache(options) -> None:
-    """``repro cache info`` / ``repro cache prune --days N``."""
-    usage = "usage: repro cache info|prune [--cache-dir DIR] [--days N]"
+    """``repro cache info`` / ``repro cache prune --days N [--max-bytes N]``."""
+    usage = (
+        "usage: repro cache info|prune [--cache-dir DIR] [--days N] "
+        "[--max-bytes N]"
+    )
     if not options.args or options.args[0] not in ("info", "prune"):
         raise SystemExit(usage)
     if not options.cache_dir:
@@ -542,16 +551,21 @@ def _cmd_cache(options) -> None:
         print(f"  oldest entry  {info['oldest_age_days']:.1f} days old")
         print(f"  newest entry  {info['newest_age_days']:.1f} days old")
         stats = cache.stats()
-        print(f"  hits          {stats['hits']}")
+        print(f"  hits          {stats['hits']}"
+              f" (memory {stats['memory_hits']}, disk {stats['disk_hits']})")
         print(f"  misses        {stats['misses']}")
         print(f"  stores        {stats['stores']}")
         print(f"  evictions     {stats['evictions']}")
         print(f"  hit rate      {stats['hit_rate'] * 100:.1f}%")
         return
-    dropped = cache.prune(options.days)
+    dropped = cache.prune(options.days, max_bytes=options.max_bytes)
     cache.flush_stats()
+    bound = (
+        f" and over the {options.max_bytes}-byte size bound"
+        if options.max_bytes is not None else ""
+    )
     print(
-        f"pruned {dropped} entries older than {options.days:g} days "
+        f"pruned {dropped} entries older than {options.days:g} days{bound} "
         f"from {options.cache_dir}"
     )
 

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Deque, Optional, Sequence
 
 from repro.confidence.base import ConfidenceLevel
+from repro.core.levels import next_wheel_active
 from repro.core.policy import ThrottlePolicy, experiment_policy
 from repro.core.throttler import SelectiveThrottler, SpeculationController
 from repro.errors import ConfigurationError
@@ -131,6 +132,14 @@ class AdaptiveThrottler(SpeculationController):
 
     def fetch_allowed(self, cycle: int) -> bool:
         return all(rung.fetch_allowed(cycle) for rung in self._active_rungs())
+
+    def next_active_cycle(self, cycle: int) -> int:
+        # fetch_allowed ANDs the active rungs' wheel probes, so the
+        # combined schedule is the AND of their 4-cycle masks.
+        mask = 0b1111
+        for rung in self._active_rungs():
+            mask &= rung._fetch_mask
+        return next_wheel_active(mask, cycle)
 
     def blocks_decode(self, cycle: int, instruction: DynamicInstruction) -> bool:
         return any(

@@ -9,6 +9,7 @@ threshold 12 and a gating threshold of 2 (experiments A7/B9/C7).
 from __future__ import annotations
 
 from repro.confidence.base import ConfidenceLevel
+from repro.core.levels import NEVER_ACTIVE
 from repro.core.throttler import SpeculationController
 from repro.errors import ConfigurationError
 from repro.isa.instruction import DynamicInstruction
@@ -54,6 +55,21 @@ class PipelineGatingController(SpeculationController):
         if gated:
             self.gated_cycles += 1
         return not gated
+
+    def next_active_cycle(self, cycle: int) -> int:
+        # The gate is level-triggered on the outstanding count, which
+        # only moves when a branch resolves or squashes (a wheel event):
+        # while gated it cannot reopen by the clock alone.  Pure — the
+        # gated-cycle counter moves only in fetch_allowed (stepped) or
+        # close_gated_window (skipped), never in the probe.
+        if self._outstanding > self.gating_threshold:
+            return NEVER_ACTIVE
+        return cycle
+
+    def close_gated_window(self, count: int) -> None:
+        # Replays the side effect of the per-cycle fetch_allowed probes a
+        # fast-forwarded gated window skipped.
+        self.gated_cycles += count
 
     @property
     def outstanding_low_confidence(self) -> int:

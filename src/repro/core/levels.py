@@ -18,6 +18,28 @@ import enum
 # STALL.
 ACTIVE_WHEEL_MASKS = (0b1111, 0b0101, 0b0001, 0b0000)
 
+# Sentinel cycle for "no active cycle without an intervening event": far
+# beyond any reachable simulation cycle, so ``min`` arithmetic over
+# next-event candidates needs no special casing.  A STALL wheel (mask 0)
+# reopens only when a controller hook fires, never by the clock alone.
+NEVER_ACTIVE = 1 << 62
+
+
+def next_wheel_active(mask: int, cycle: int) -> int:
+    """First cycle ``>= cycle`` whose 4-cycle wheel phase is active.
+
+    ``mask`` is an ``ACTIVE_WHEEL_MASKS``-style bitmask (bit ``c & 3``
+    set means cycle ``c`` is active).  Returns :data:`NEVER_ACTIVE` for
+    an empty mask — the schedule alone never reopens.  O(1): at most
+    four phase probes.
+    """
+    if mask == 0:
+        return NEVER_ACTIVE
+    offset = 0
+    while not (mask >> ((cycle + offset) & 3)) & 1:
+        offset += 1
+    return cycle + offset
+
 
 @enum.unique
 class BandwidthLevel(enum.IntEnum):

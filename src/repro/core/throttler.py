@@ -21,7 +21,11 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.confidence.base import ConfidenceLevel
-from repro.core.levels import ACTIVE_WHEEL_MASKS, BandwidthLevel
+from repro.core.levels import (
+    ACTIVE_WHEEL_MASKS,
+    BandwidthLevel,
+    next_wheel_active,
+)
 from repro.core.policy import ThrottleAction, ThrottlePolicy
 from repro.isa.instruction import DynamicInstruction
 
@@ -50,6 +54,30 @@ class SpeculationController:
     def fetch_allowed(self, cycle: int) -> bool:
         """May the fetch stage operate this cycle?"""
         return True
+
+    def next_active_cycle(self, cycle: int) -> int:
+        """First cycle ``>= cycle`` where :meth:`fetch_allowed` would pass.
+
+        The narrow contract of the scheduler's next-event engine: the
+        answer assumes no controller hook fires in between (which the
+        caller guarantees — a fast-forward window only spans provably
+        inert cycles), and the probe must be **side-effect free** (the
+        fetch stage will still consult :meth:`fetch_allowed` itself on
+        the cycle it lands on).  :data:`~repro.core.levels.NEVER_ACTIVE`
+        means the gate cannot reopen without a hook.
+        """
+        return cycle
+
+    def close_gated_window(self, count: int) -> None:
+        """Close ``count`` skipped fetch-gated cycles in one batch.
+
+        Called by the cycle-skip fast-forward in place of the ``count``
+        per-cycle :meth:`fetch_allowed` probes that would have returned
+        False, so a controller whose probe carries side effects (e.g.
+        pipeline gating's gated-cycle counter) stays bit-identical to a
+        stepped run.  Pure controllers need not override it.
+        """
+        return None
 
     def blocks_decode(self, cycle: int, instruction: DynamicInstruction) -> bool:
         """Must the decode stage hold this instruction back this cycle?
@@ -192,6 +220,12 @@ class SelectiveThrottler(SpeculationController):
 
     def fetch_allowed(self, cycle: int) -> bool:
         return (self._fetch_mask >> (cycle & 3)) & 1 == 1
+
+    def next_active_cycle(self, cycle: int) -> int:
+        # The effective level is a 4-cycle wheel bitmask, so the next
+        # fetch slot is an O(1) phase probe; NEVER_ACTIVE at STALL
+        # (mask 0) until a token releases.
+        return next_wheel_active(self._fetch_mask, cycle)
 
     def blocks_decode(self, cycle: int, instruction: DynamicInstruction) -> bool:
         oldest = self._decode_oldest

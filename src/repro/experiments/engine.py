@@ -29,6 +29,7 @@ On top of :func:`simulate` the module layers
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
@@ -561,7 +562,7 @@ def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
 # array/object stage representation (tests/test_kernel_equivalence.py),
 # and hashing any of them would split the cache by debug/observability/
 # representation mode.
-_NON_RESULT_FIELDS = frozenset({"sanitize", "telemetry", "kernel"})
+_NON_RESULT_FIELDS = frozenset({"sanitize", "telemetry", "kernel", "cycle_skip"})
 
 
 def _config_items(config: ProcessorConfig) -> List[Tuple[str, object]]:
@@ -677,57 +678,74 @@ def result_from_dict(payload: Dict) -> SimulationResult:
 # ----------------------------------------------------------------------
 
 class ResultCache:
-    """Content-addressed JSON store of simulation results.
+    """Content-addressed store of simulation results, two tiers deep.
 
-    Each entry is ``<cache_dir>/<fingerprint>.json``; the fingerprint is
-    the full :func:`cell_fingerprint`, so two distinct cells can never
-    share an entry and any config change misses cleanly.  Entries are
-    written atomically (write-then-rename) so an interrupted campaign
-    leaves no torn files behind.
+    The durable tier is one ``<cache_dir>/<fingerprint>.json`` file per
+    entry; the fingerprint is the full :func:`cell_fingerprint`, so two
+    distinct cells can never share an entry and any config change misses
+    cleanly.  Entries are written atomically (write-then-rename) so an
+    interrupted campaign leaves no torn files behind.
 
-    Session hit/miss/store counters are per-instance and monotonic;
-    :meth:`flush_stats` folds their growth since the last flush into a
-    persistent ``_cache_stats.json`` sidecar (read-modify-write over a
-    rename; concurrent flushers may drop each other's deltas, which is
-    acceptable for monitoring counters), so ``repro cache info`` reports
-    lifetime hit rate across runs — the shared-cache sizing signal the
-    roadmap asks for.  The sidecar's leading underscore keeps it out of
+    In front of the disk sits a bounded in-memory LRU of parsed payloads
+    (``memory_entries`` deep, per instance): a sweep that revisits a cell
+    — repeated baselines across a campaign grid, a ``--check`` pass after
+    a run — pays the JSON parse once, not per visit.  Hits count per
+    tier (``memory_hits`` / ``disk_hits``; :attr:`hits` is their sum, so
+    existing consumers keep working), and payloads are deep-copied across
+    the tier boundary so a caller mutating a returned result can never
+    corrupt a later hit.
+
+    Session counters are per-instance and monotonic; :meth:`flush_stats`
+    folds their growth since the last flush into a persistent
+    ``_cache_stats.json`` sidecar (read-modify-write over a rename;
+    concurrent flushers may drop each other's deltas, which is acceptable
+    for monitoring counters), so ``repro cache info`` reports lifetime
+    hit rate across runs — the shared-cache sizing signal the roadmap
+    asks for.  The sidecar's leading underscore keeps it out of
     :meth:`entries` and :meth:`prune` (fingerprints are hex).
     """
 
     STATS_FILENAME = "_cache_stats.json"
+    DEFAULT_MEMORY_ENTRIES = 256
+    _PERSISTED = (
+        "hits", "memory_hits", "disk_hits", "misses", "stores", "evictions",
+    )
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self, directory: str, memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    ) -> None:
+        if memory_entries < 0:
+            raise ExperimentError("memory_entries must be >= 0")
         self.directory = directory
-        self.hits = 0
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
-        self._flushed = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        self.memory_evictions = 0
+        self._flushed = {name: 0 for name in self._PERSISTED}
         os.makedirs(directory, exist_ok=True)
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers (the pre-tier counter's name)."""
+        return self.memory_hits + self.disk_hits
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, f"{fingerprint}.json")
 
-    def get(self, cell):
-        """The cached result of any cell kind, relabelled for this request."""
-        is_smt = isinstance(cell, SmtCell)
-        path = self._path(fingerprint_of(cell))
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
+    @staticmethod
+    def _payload_matches(payload, is_smt: bool) -> bool:
         if payload.get("schema") != _CACHE_SCHEMA:
-            self.misses += 1
-            return None
+            return False
         # Entries written before the SMT cell kind carry no marker: they
         # are single-thread results.
-        if payload.get("kind", "sim") != ("smt" if is_smt else "sim"):
-            self.misses += 1
-            return None
-        self.hits += 1
+        return payload.get("kind", "sim") == ("smt" if is_smt else "sim")
+
+    @staticmethod
+    def _materialize(payload, cell, is_smt: bool):
         if is_smt:
             return smt_result_from_dict(payload["result"])
         result = result_from_dict(payload["result"])
@@ -735,6 +753,40 @@ class ResultCache:
         if result.label != cell.effective_label:
             result = replace(result, label=cell.effective_label)
         return result
+
+    def _remember(self, fingerprint: str, payload) -> None:
+        if self.memory_entries == 0:
+            return
+        memory = self._memory
+        if fingerprint in memory:
+            memory.move_to_end(fingerprint)
+        memory[fingerprint] = payload
+        while len(memory) > self.memory_entries:
+            memory.popitem(last=False)
+            self.memory_evictions += 1
+
+    def get(self, cell):
+        """The cached result of any cell kind, relabelled for this request."""
+        is_smt = isinstance(cell, SmtCell)
+        fingerprint = fingerprint_of(cell)
+        payload = self._memory.get(fingerprint)
+        if payload is not None and self._payload_matches(payload, is_smt):
+            self._memory.move_to_end(fingerprint)
+            self.memory_hits += 1
+            return self._materialize(copy.deepcopy(payload), cell, is_smt)
+        path = self._path(fingerprint)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not self._payload_matches(payload, is_smt):
+            self.misses += 1
+            return None
+        self.disk_hits += 1
+        self._remember(fingerprint, payload)
+        return self._materialize(copy.deepcopy(payload), cell, is_smt)
 
     def put(self, cell, result) -> None:
         fingerprint = fingerprint_of(cell)
@@ -762,6 +814,7 @@ class ResultCache:
             json.dump(payload, handle, indent=2)
         os.replace(tmp, path)
         self.stores += 1
+        self._remember(fingerprint, copy.deepcopy(payload))
 
     # -- persistent counters (telemetry + `repro cache info`) -----------
 
@@ -769,8 +822,13 @@ class ResultCache:
         return os.path.join(self.directory, self.STATS_FILENAME)
 
     def persistent_stats(self) -> Dict[str, int]:
-        """Lifetime counters from the on-disk sidecar (zeros if absent)."""
-        stats = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        """Lifetime counters from the on-disk sidecar (zeros if absent).
+
+        Sidecars written before the in-memory tier carry no per-tier
+        keys; those default to zero (their total still lives in
+        ``hits``), so old caches upgrade in place.
+        """
+        stats = {name: 0 for name in self._PERSISTED}
         try:
             with open(self._stats_path()) as handle:
                 payload = json.load(handle)
@@ -784,16 +842,12 @@ class ResultCache:
 
     def flush_stats(self) -> Dict[str, int]:
         """Fold session counter growth into the sidecar; returns totals."""
+        current = {name: getattr(self, name) for name in self._PERSISTED}
         deltas = {
-            "hits": self.hits - self._flushed["hits"],
-            "misses": self.misses - self._flushed["misses"],
-            "stores": self.stores - self._flushed["stores"],
-            "evictions": self.evictions - self._flushed["evictions"],
+            name: current[name] - self._flushed[name]
+            for name in self._PERSISTED
         }
-        self._flushed = {
-            "hits": self.hits, "misses": self.misses,
-            "stores": self.stores, "evictions": self.evictions,
-        }
+        self._flushed = current
         totals = self.persistent_stats()
         for key, delta in deltas.items():
             totals[key] += delta
@@ -807,12 +861,11 @@ class ResultCache:
     def stats(self) -> Dict[str, float]:
         """Lifetime counters plus this session's unflushed growth."""
         totals = self.persistent_stats()
-        totals["hits"] += self.hits - self._flushed["hits"]
-        totals["misses"] += self.misses - self._flushed["misses"]
-        totals["stores"] += self.stores - self._flushed["stores"]
-        totals["evictions"] += self.evictions - self._flushed["evictions"]
+        for name in self._PERSISTED:
+            totals[name] += getattr(self, name) - self._flushed[name]
         accesses = totals["hits"] + totals["misses"]
         combined: Dict[str, float] = dict(totals)
+        combined["memory_evictions"] = self.memory_evictions
         combined["hit_rate"] = totals["hits"] / accesses if accesses else 0.0
         return combined
 
@@ -853,36 +906,73 @@ class ResultCache:
             "newest_age_days": (now - newest) / 86400.0 if newest else 0.0,
         }
 
-    def prune(self, older_than_days: float) -> int:
-        """Drop entries last written more than N days ago; returns count.
+    def prune(
+        self,
+        older_than_days: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict entries by age and/or total size; returns entries dropped.
 
-        Also sweeps orphaned ``*.json.tmp.<pid>`` files past the cutoff —
-        the leftovers of a run killed between write and rename — which
-        :meth:`entries` deliberately excludes (not counted in the return
-        value).
+        ``older_than_days`` drops entries last written more than N days
+        ago; ``max_bytes`` then evicts the oldest surviving entries until
+        the directory's entry bytes fit the bound (LRU by mtime — the
+        disk-tier mirror of the in-memory tier's eviction order).  At
+        least one bound is required.  The age pass also sweeps orphaned
+        ``*.json.tmp.<pid>`` files past the cutoff — the leftovers of a
+        run killed between write and rename — which :meth:`entries`
+        deliberately excludes (not counted in the return value).
         """
-        if older_than_days < 0:
+        if older_than_days is None and max_bytes is None:
+            raise ExperimentError("prune needs an age and/or a size bound")
+        if older_than_days is not None and older_than_days < 0:
             raise ExperimentError("prune age must be >= 0 days")
-        cutoff = time.time() - older_than_days * 86400.0
+        if max_bytes is not None and max_bytes < 0:
+            raise ExperimentError("prune size bound must be >= 0 bytes")
         dropped = 0
-        try:
-            names = sorted(os.listdir(self.directory))
-        except OSError:
-            return 0
-        for name in names:
-            if name == self.STATS_FILENAME:  # the sidecar is not an entry
-                continue
-            is_entry = name.endswith(".json")
-            if not is_entry and ".json.tmp." not in name:
-                continue
-            path = os.path.join(self.directory, name)
+        if older_than_days is not None:
+            cutoff = time.time() - older_than_days * 86400.0
             try:
-                if os.stat(path).st_mtime < cutoff:
-                    os.remove(path)
-                    dropped += is_entry
+                names = sorted(os.listdir(self.directory))
             except OSError:
-                continue
+                names = []
+            for name in names:
+                if name == self.STATS_FILENAME:  # the sidecar is not an entry
+                    continue
+                is_entry = name.endswith(".json")
+                if not is_entry and ".json.tmp." not in name:
+                    continue
+                path = os.path.join(self.directory, name)
+                try:
+                    if os.stat(path).st_mtime < cutoff:
+                        os.remove(path)
+                        dropped += is_entry
+                except OSError:
+                    continue
+        if max_bytes is not None:
+            survivors = []
+            total = 0
+            for path in self.entries():
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                survivors.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            survivors.sort()
+            for _, size, path in survivors:
+                if total <= max_bytes:
+                    break
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                total -= size
+                dropped += 1
         self.evictions += dropped
+        # Evicted fingerprints must not linger as in-memory hits: the
+        # tiers would disagree about what the cache holds.
+        if dropped:
+            self._memory.clear()
         return dropped
 
 

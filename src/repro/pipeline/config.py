@@ -34,6 +34,13 @@ def _telemetry_default() -> bool:
     return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
 
 
+def _cycle_skip_default() -> bool:
+    """Default of ``ProcessorConfig.cycle_skip``: on unless REPRO_CYCLE_SKIP
+    is set to 0 (the skip-on/skip-off A/B needs both sides in one process;
+    env-var based for the same worker-inheritance reason as the others)."""
+    return os.environ.get("REPRO_CYCLE_SKIP", "") not in ("0",)
+
+
 def _kernel_default() -> str:
     """Default of ``ProcessorConfig.kernel``: the REPRO_KERNEL env var.
 
@@ -131,6 +138,14 @@ class ProcessorConfig:
     # the 38 golden fingerprints enforce it) — so it is excluded from
     # cache fingerprints like sanitize/telemetry.
     kernel: str = field(default_factory=_kernel_default)
+
+    # Cycle-skip fast-forward (array kernel's next-event engine).  Never
+    # affects results — a fast-forwarded run is bit-identical to a
+    # stepped one (the kernel-equivalence property and the 38 goldens
+    # enforce it) — so it is excluded from cache fingerprints.  Off
+    # (REPRO_CYCLE_SKIP=0) exists for the skip-on/skip-off benchmark A/B
+    # and for bisecting a suspected skip bug.
+    cycle_skip: bool = field(default_factory=_cycle_skip_default)
 
     def __post_init__(self) -> None:
         self.validate()

@@ -9,21 +9,33 @@ activity array is integrated by the power model (clock-tree power driven
 by ROB occupancy from the kernel's incremental counter — no per-cycle
 rescan of the threads), and the cycle counter advances.
 
-**Cycle-skip fast-forward.**  On a single-thread machine a long D-cache
-or redirect stall leaves the whole pipeline provably inert: both
-front-end latch columns empty, no ready instruction, the ROB head not
-completed, and nothing due out of the completion wheel this cycle.
-Every stage tick is then a no-op and the cycle close is the power
-model's idle accumulation — so the scheduler scans the wheel for the
-next event (a non-empty ring slot within the horizon identifies its
-cycle exactly), advances the statistics, power residency and throttle
-residency for the whole stretch in closed form, and jumps.  The batch
-bookkeeping reuses the per-cycle arithmetic (the power model loops its
-own ``end_cycle``), so a fast-forwarded run is bit-identical to a
-stepped one.  The skip arms only while fetch cannot run: during a
-fetch stall (``fetch_stall_until``), or — for the oracle controller,
-which waits at a misprediction instead of fetching wrong-path work —
-while the thread sits on the wrong path.
+**Cycle-skip fast-forward (the next-event engine).**  When the whole
+machine is provably inert — every thread's latch columns empty, no ready
+instruction, no completed ROB head, and nothing due out of the
+completion wheel this cycle — every stage tick is a no-op and the cycle
+close is the power model's idle accumulation.  The scheduler then jumps
+to the earliest *event* that could make any stage do work again, and
+closes the skipped stretch in one batch.  Two event sources compose:
+
+* **wheel events** — the next non-empty completion-ring slot (a scan
+  bounded by the wheel horizon identifies its cycle exactly; far-bucket
+  events clamp from above);
+* **fetch reopen events** — per thread, the first cycle its fetch could
+  run: the end of a redirect/I-cache stall, the controller's next
+  fetch-gate slot (``SpeculationController.next_active_cycle``, an O(1)
+  wheel probe for the bandwidth-level throttles, "never without a hook"
+  for pipeline gating and the oracle's wrong-path wait), and — on an SMT
+  core under the confidence-gating policy — the thread's bandwidth-level
+  duty cycle.
+
+The batch bookkeeping reuses the per-cycle arithmetic (the power model
+loops its own ``end_cycle``; the stall/throttle counters and controller
+side effects advance in closed form through
+``SpeculationController.close_gated_window``), so a fast-forwarded run
+is bit-identical to a stepped one — on single-thread *and* SMT cores,
+gated or not.  ``ProcessorConfig.cycle_skip`` (REPRO_CYCLE_SKIP=0)
+disables the engine for A/B measurement; results are identical either
+way.
 
 The scheduler holds the stage components as plain attributes, so tests
 and future scenarios can wrap or replace a single stage without touching
@@ -32,6 +44,7 @@ the kernel.
 
 from __future__ import annotations
 
+from repro.core.levels import ACTIVE_WHEEL_MASKS, NEVER_ACTIVE
 from repro.pipeline.sanitizer import check_cycle_end, check_invariants
 from repro.pipeline.stages.commit import CommitRecoverStage
 from repro.pipeline.stages.decode_rename import DecodeRenameStage
@@ -39,6 +52,24 @@ from repro.pipeline.stages.execute_writeback import ExecuteWritebackStage
 from repro.pipeline.stages.fetch import FetchStage
 from repro.pipeline.stages.select_issue import SelectIssueStage
 from repro.power.units import NUM_UNITS
+
+_POPCOUNT = tuple(bin(value).count("1") for value in range(16))
+
+
+def _wheel_count(mask: int, start: int, count: int) -> int:
+    """Active cycles among ``count`` cycles from ``start`` under a 4-cycle
+    wheel ``mask``: whole periods contribute the mask's popcount, the
+    remainder is a phase probe per cycle."""
+    if mask == 0 or count <= 0:
+        return 0
+    if mask == 0b1111:
+        return count
+    full, rem = divmod(count, 4)
+    total = full * _POPCOUNT[mask]
+    for offset in range(rem):
+        if (mask >> ((start + offset) & 3)) & 1:
+            total += 1
+    return total
 
 
 class CycleScheduler:
@@ -48,7 +79,8 @@ class CycleScheduler:
         "kernel", "total_rob_size",
         "commit", "writeback", "issue", "decode_rename", "fetch",
         "stages",
-        "_solo", "_oracle_skip", "_ring", "_mask", "_far",
+        "_solo", "_solo_gates", "_solo_oracle", "_smt_skip",
+        "_threads", "_conf_policy", "_ring", "_mask", "_far",
     )
 
     def __init__(self, kernel) -> None:
@@ -72,52 +104,104 @@ class CycleScheduler:
             self.decode_rename,
             self.fetch,
         )
-        # Fast-forward state: single-thread machines only (an SMT core's
-        # fetch arbitration and shared-cap interplay make per-cycle
-        # inertness thread-coupled, and its stalls overlap anyway).
+        # Fast-forward state.  The entry gates below are the per-cycle
+        # hot path, so the solo thread and its controller capability
+        # flags are cached as slots.
         completions = kernel.completions
         self._ring = completions.buckets
         self._mask = completions.mask
         self._far = completions.far_buckets
         threads = kernel.threads
+        self._threads = threads
+        enabled = kernel.config.cycle_skip
         if len(threads) == 1:
-            self._solo = threads[0]
-            # The oracle-wait skip must not bypass a fetch-gating
-            # controller: gating is consulted (and counts a throttled
-            # cycle) before the wrong-path check in the fetch stage.
-            self._oracle_skip = (
-                self._solo.ctrl_blocks_wp_fetch
-                and not self._solo.ctrl_gates_fetch
-            )
+            self._solo = threads[0] if enabled else None
+            self._smt_skip = False
         else:
             self._solo = None
-            self._oracle_skip = False
+            self._smt_skip = enabled
+        solo = self._solo
+        self._solo_gates = solo is not None and solo.ctrl_gates_fetch
+        self._solo_oracle = solo is not None and solo.ctrl_blocks_wp_fetch
+        # The confidence-gating SMT policy adds a per-thread duty-cycle
+        # gate (and a per-thread gated-cycle counter) on top of the
+        # controllers; every other policy is a pure function of frozen
+        # thread state and the cycle number, so arbitration is invariant
+        # across a skipped window by construction.
+        # Imported here, not at module top: repro.smt pulls the processor
+        # module back in, and the scheduler is imported while that module
+        # is still initialising.  Construction happens long after.
+        from repro.smt.policies import ConfidenceGatingPolicy
+
+        policy = kernel.fetch_policy
+        self._conf_policy = (
+            policy if isinstance(policy, ConfidenceGatingPolicy) else None
+        )
 
     # ------------------------------------------------------------------
     # Cycle-skip fast-forward
     # ------------------------------------------------------------------
 
-    def _try_fast_forward(self, thread, cycle: int, limit: int) -> int:
-        """Idle-cycle count to jump, or 0 when any stage might do work.
+    def _next_fetch_cycle(self, thread, cycle: int) -> int:
+        """First cycle ``>= cycle`` the thread's fetch could do work,
+        with all gate state frozen (guaranteed by window quiescence).
 
-        The caller established that fetch cannot run before ``limit``.
-        The remaining guards prove every other stage is a no-op: empty
-        latch columns (rename and decode idle), an empty ready list
-        (select/issue idle — the deferred FU-pool refresh is observable
-        only through claims), an uncompleted ROB head (commit idle) and
-        an empty wheel slot at the current cycle (writeback idle).  The
-        scan then runs to the next wheel event: within the horizon a
-        non-empty ring slot identifies its event cycle exactly (issue
-        never schedules past ``mask`` cycles out), and any far-bucket
-        event bounds the jump from above.
+        Mirrors the fetch eligibility checks in order: redirect/I-cache
+        stall, the controller's fetch gate, and — under the confidence-
+        gating SMT policy — the thread's bandwidth-level duty cycle.  An
+        oracle-parked thread (wrong-path wait) reopens only on a wheel
+        event, never by the clock alone.
         """
-        if thread.fetch_latch.instrs or thread.decode_latch.instrs:
-            return 0
-        if thread.iq.ready_list:
-            return 0
-        entries = thread.rob_entries
-        if entries and entries[0].completed:
-            return 0
+        if thread.ctrl_blocks_wp_fetch and thread.fetch_mode == "wrong":
+            return NEVER_ACTIVE
+        candidate = thread.fetch_stall_until
+        if candidate < cycle:
+            candidate = cycle
+        gates = thread.ctrl_gates_fetch
+        controller = thread.controller
+        policy = self._conf_policy
+        if policy is None:
+            if gates:
+                return controller.next_active_cycle(candidate)
+            return candidate
+        level_mask = ACTIVE_WHEEL_MASKS[policy.level_for(thread.lowconf_inflight)]
+        # Both gates are (at most) 4-cycle wheels, so a common active
+        # phase, if one exists, is found within one period from any
+        # starting point; 8 probes cover a checked candidate per pair.
+        for _ in range(8):
+            if gates:
+                at = controller.next_active_cycle(candidate)
+                if at >= NEVER_ACTIVE:
+                    return NEVER_ACTIVE
+                if at != candidate:
+                    candidate = at
+                    continue
+            if (level_mask >> (candidate & 3)) & 1:
+                return candidate
+            candidate += 1
+        return NEVER_ACTIVE
+
+    def _try_skip(self, cycle: int) -> int:
+        """Plan and close one fast-forward window; 0 when any stage might
+        do work before the next event.
+
+        The quiescence guards prove every stage is a no-op: empty latch
+        columns (rename and decode idle), empty ready lists (select/issue
+        idle — the deferred FU-pool refresh is observable only through
+        claims), uncompleted ROB heads (commit idle) and an empty wheel
+        slot at the current cycle (writeback idle) — for *every* thread,
+        which on an SMT core is exactly the machine-wide inertness the
+        shared wheel and fetch port require.
+        """
+        threads = self._threads
+        for thread in threads:
+            if thread.fetch_latch.instrs or thread.decode_latch.instrs:
+                return 0
+            if thread.iq.ready_list:
+                return 0
+            entries = thread.rob_entries
+            if entries and entries[0].completed:
+                return 0
         ring = self._ring
         mask = self._mask
         if ring[cycle & mask]:
@@ -125,6 +209,19 @@ class CycleScheduler:
         far = self._far
         if far and cycle in far:
             return 0
+        # The earliest cycle any thread's fetch could run again bounds
+        # the window; a thread already fetchable means no window at all.
+        next_fetch = NEVER_ACTIVE
+        for thread in threads:
+            at = self._next_fetch_cycle(thread, cycle)
+            if at <= cycle:
+                return 0
+            if at < next_fetch:
+                next_fetch = at
+        # The wheel event scan: within the horizon a non-empty ring slot
+        # identifies its event cycle exactly (issue never schedules past
+        # ``mask`` cycles out); far-bucket events clamp from above.
+        limit = next_fetch
         bound = cycle + mask
         if limit > bound:
             limit = bound
@@ -135,22 +232,103 @@ class CycleScheduler:
             for key in far:
                 if cycle < key < end:
                     end = key
-        return end - cycle
+        count = end - cycle
+        self._close_window(cycle, count)
+        return count
 
-    def _fast_forward(self, cycle: int, count: int, stalled: bool) -> None:
-        """Close ``count`` idle cycles in one batch (bit-identical to
-        stepping them: constant occupancy, zero activity, and — on a
-        fetch stall — the per-cycle redirect-stall count)."""
+    def _probe_active_mask(self, controller, start: int) -> int:
+        """The controller's fetch-gate schedule as a 4-cycle wheel mask,
+        observed through side-effect-free ``next_active_cycle`` probes
+        (valid across a window: gate state is frozen while no hook
+        fires)."""
+        active_mask = 0
+        for offset in range(4):
+            at = start + offset
+            if controller.next_active_cycle(at) == at:
+                active_mask |= 1 << (at & 3)
+        return active_mask
+
+    def _close_window(self, cycle: int, count: int) -> None:
+        """Close ``count`` skipped cycles in one batch, bit-identical to
+        stepping them: constant occupancy, zero activity, and the
+        per-cycle stall/throttle accounting of every thread's fetch
+        regime (stall counters, gating-controller side effects, SMT
+        policy gated-cycle counters) advanced in closed form."""
         kernel = self.kernel
         power = kernel.power
         in_flight = kernel.rob_count
         power.end_idle_cycles(in_flight / self.total_rob_size, count)
         power.total_instr_cycles += in_flight * count
         stats = kernel.stats
-        if stalled:
-            stats.redirect_stall_cycles += count
+        end = cycle + count
+        solo = self._solo
+        if solo is not None:
+            # Single-thread fetch counts its own idle regimes, in check
+            # order: a redirect/I-cache stall cycle bumps the redirect
+            # counter and never consults the controller; past the stall
+            # a gating controller is consulted (and counts a throttled
+            # cycle) every cycle.
+            stalled = min(end, solo.fetch_stall_until) - cycle
+            if stalled > 0:
+                stats.redirect_stall_cycles += stalled
+            else:
+                stalled = 0
+            if self._solo_gates:
+                probed = count - stalled
+                if probed:
+                    if self._solo_oracle and solo.fetch_mode == "wrong":
+                        # Unreachable with the shipped controllers (the
+                        # oracle never gates fetch) but kept exact: only
+                        # the gate's inactive cycles count as throttled;
+                        # its active cycles fall through to the silent
+                        # wrong-path wait.
+                        start = cycle + stalled
+                        active = self._probe_active_mask(solo.controller, start)
+                        throttled = probed - _wheel_count(active, start, probed)
+                    else:
+                        throttled = probed
+                    if throttled:
+                        stats.fetch_throttled_cycles += throttled
+                        solo.controller.close_gated_window(throttled)
+        else:
+            # SMT: an idle cycle picks no thread, so the machine-level
+            # stall counters stay untouched (exactly as stepped); what
+            # must advance are the per-thread side effects of the
+            # arbitration probes — the policy consults every non-stalled
+            # thread's fetch gate each cycle (front-end latches are
+            # empty across the window, so the buffer check never trips).
+            policy = self._conf_policy
+            for thread in self._threads:
+                start = thread.fetch_stall_until
+                if start < cycle:
+                    start = cycle
+                probed = end - start
+                if probed <= 0:
+                    continue
+                if thread.ctrl_gates_fetch:
+                    controller = thread.controller
+                    active_mask = self._probe_active_mask(controller, start)
+                    gated = probed - _wheel_count(active_mask, start, probed)
+                    if gated:
+                        controller.close_gated_window(gated)
+                else:
+                    active_mask = 0b1111
+                if policy is not None and not (
+                    thread.ctrl_blocks_wp_fetch and thread.fetch_mode == "wrong"
+                ):
+                    # Eligible but duty-cycle-gated: the policy counts
+                    # the thread as policy-gated on cycles its gate is
+                    # open but its bandwidth level is inactive.
+                    level_mask = ACTIVE_WHEEL_MASKS[
+                        policy.level_for(thread.lowconf_inflight)
+                    ]
+                    gated_by_level = _wheel_count(
+                        active_mask & ~level_mask & 0b1111, start, probed
+                    )
+                    if gated_by_level:
+                        thread.policy_gated_cycles += gated_by_level
         stats.cycles += count
-        kernel.cycle = cycle + count
+        kernel.cycle = end
 
     # ------------------------------------------------------------------
     # The four step variants (construction-time dispatch)
@@ -162,20 +340,19 @@ class CycleScheduler:
         cycle = kernel.cycle
         solo = self._solo
         if solo is not None:
-            if cycle < solo.fetch_stall_until:
-                count = self._try_fast_forward(
-                    solo, cycle, solo.fetch_stall_until
-                )
-                if count:
-                    self._fast_forward(cycle, count, True)
+            if (
+                cycle < solo.fetch_stall_until
+                or (self._solo_gates
+                    and not solo.fetch_latch.instrs
+                    and not solo.decode_latch.instrs
+                    and solo.controller.next_active_cycle(cycle) != cycle)
+                or (self._solo_oracle and solo.fetch_mode == "wrong")
+            ):
+                if self._try_skip(cycle):
                     return
-            elif self._oracle_skip and solo.fetch_mode == "wrong":
-                count = self._try_fast_forward(
-                    solo, cycle, cycle + self._mask
-                )
-                if count:
-                    self._fast_forward(cycle, count, False)
-                    return
+        elif self._smt_skip:
+            if self._try_skip(cycle):
+                return
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)
         self.writeback.tick(cycle, activity)
@@ -206,24 +383,25 @@ class CycleScheduler:
         cycle = kernel.cycle
         solo = self._solo
         if solo is not None:
-            if cycle < solo.fetch_stall_until:
-                count = self._try_fast_forward(
-                    solo, cycle, solo.fetch_stall_until
-                )
+            if (
+                cycle < solo.fetch_stall_until
+                or (self._solo_gates
+                    and not solo.fetch_latch.instrs
+                    and not solo.decode_latch.instrs
+                    and solo.controller.next_active_cycle(cycle) != cycle)
+                or (self._solo_oracle and solo.fetch_mode == "wrong")
+            ):
+                count = self._try_skip(cycle)
                 if count:
-                    self._fast_forward(cycle, count, True)
                     check_invariants(kernel, "fast-forward", cycle + count - 1)
                     check_cycle_end(kernel, cycle + count - 1)
                     return
-            elif self._oracle_skip and solo.fetch_mode == "wrong":
-                count = self._try_fast_forward(
-                    solo, cycle, cycle + self._mask
-                )
-                if count:
-                    self._fast_forward(cycle, count, False)
-                    check_invariants(kernel, "fast-forward", cycle + count - 1)
-                    check_cycle_end(kernel, cycle + count - 1)
-                    return
+        elif self._smt_skip:
+            count = self._try_skip(cycle)
+            if count:
+                check_invariants(kernel, "fast-forward", cycle + count - 1)
+                check_cycle_end(kernel, cycle + count - 1)
+                return
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)
         check_invariants(kernel, self.commit.name, cycle)
@@ -254,29 +432,31 @@ class CycleScheduler:
         never writes simulation state, so an instrumented run is
         bit-identical to an uninstrumented one.  A fast-forwarded stretch
         is sampled once and scaled (``ProbeBus.idle_cycles``) — every
-        per-cycle sample is constant across it.
+        per-cycle sample is constant across it, and the stall/throttle
+        counters the window advanced are folded in by differencing.
         """
         kernel = self.kernel
         probes = kernel.probes
         cycle = kernel.cycle
         solo = self._solo
         if solo is not None:
-            if cycle < solo.fetch_stall_until:
-                count = self._try_fast_forward(
-                    solo, cycle, solo.fetch_stall_until
-                )
+            if (
+                cycle < solo.fetch_stall_until
+                or (self._solo_gates
+                    and not solo.fetch_latch.instrs
+                    and not solo.decode_latch.instrs
+                    and solo.controller.next_active_cycle(cycle) != cycle)
+                or (self._solo_oracle and solo.fetch_mode == "wrong")
+            ):
+                count = self._try_skip(cycle)
                 if count:
-                    self._fast_forward(cycle, count, True)
-                    probes.idle_cycles(kernel, count, True)
+                    probes.idle_cycles(kernel, count)
                     return
-            elif self._oracle_skip and solo.fetch_mode == "wrong":
-                count = self._try_fast_forward(
-                    solo, cycle, cycle + self._mask
-                )
-                if count:
-                    self._fast_forward(cycle, count, False)
-                    probes.idle_cycles(kernel, count, False)
-                    return
+        elif self._smt_skip:
+            count = self._try_skip(cycle)
+            if count:
+                probes.idle_cycles(kernel, count)
+                return
         probes.begin_cycle(kernel, cycle)
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)
@@ -299,26 +479,27 @@ class CycleScheduler:
         cycle = kernel.cycle
         solo = self._solo
         if solo is not None:
-            if cycle < solo.fetch_stall_until:
-                count = self._try_fast_forward(
-                    solo, cycle, solo.fetch_stall_until
-                )
+            if (
+                cycle < solo.fetch_stall_until
+                or (self._solo_gates
+                    and not solo.fetch_latch.instrs
+                    and not solo.decode_latch.instrs
+                    and solo.controller.next_active_cycle(cycle) != cycle)
+                or (self._solo_oracle and solo.fetch_mode == "wrong")
+            ):
+                count = self._try_skip(cycle)
                 if count:
-                    self._fast_forward(cycle, count, True)
-                    probes.idle_cycles(kernel, count, True)
+                    probes.idle_cycles(kernel, count)
                     check_invariants(kernel, "fast-forward", cycle + count - 1)
                     check_cycle_end(kernel, cycle + count - 1)
                     return
-            elif self._oracle_skip and solo.fetch_mode == "wrong":
-                count = self._try_fast_forward(
-                    solo, cycle, cycle + self._mask
-                )
-                if count:
-                    self._fast_forward(cycle, count, False)
-                    probes.idle_cycles(kernel, count, False)
-                    check_invariants(kernel, "fast-forward", cycle + count - 1)
-                    check_cycle_end(kernel, cycle + count - 1)
-                    return
+        elif self._smt_skip:
+            count = self._try_skip(cycle)
+            if count:
+                probes.idle_cycles(kernel, count)
+                check_invariants(kernel, "fast-forward", cycle + count - 1)
+                check_cycle_end(kernel, cycle + count - 1)
+                return
         probes.begin_cycle(kernel, cycle)
         activity = [0] * NUM_UNITS
         self.commit.tick(cycle, activity)

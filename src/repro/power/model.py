@@ -300,15 +300,54 @@ class PowerModel:
         """Account ``count`` fully idle cycles at one fixed occupancy.
 
         The cycle-skip fast-forward batches a stretch of provably idle
-        cycles through this instead of the per-cycle call sites.  It
-        stays a loop over :meth:`end_cycle` — not a closed form — so the
-        accumulation order, and therefore every float, is bit-identical
-        to stepping the cycles one by one under every gating style.
+        cycles through this instead of the per-cycle call sites.  Under
+        cc3 the loop nest is *transposed* relative to per-cycle stepping:
+        every accumulator receives the same constant each idle cycle, and
+        accumulators are independent, so running each accumulator's adds
+        back to back performs the exact same float-addition sequence per
+        accumulator as :meth:`end_cycle` once per cycle — bit-identical,
+        without ``count`` call dispatches.  Each inner loop also stops as
+        soon as an add no longer changes the accumulator (``x + e == x``
+        implies every further add of the same ``e`` returns ``x``).  The
+        other gating styles stay on the per-cycle loop.
         """
-        zero = _ZERO_ACTIVITY
-        end_cycle = self.end_cycle
-        for _ in range(count):
-            end_cycle(zero, occupancy)
+        if count <= 0:
+            return
+        if not self._cc3:
+            zero = _ZERO_ACTIVITY
+            end_cycle = self.end_cycle
+            for _ in range(count):
+                end_cycle(zero, occupancy)
+            return
+        self.cycles += count
+        unit_energy = self.unit_energy
+        for unit, energy in self._idle_pairs:
+            value = unit_energy[unit]
+            for _ in range(count):
+                summed = value + energy
+                if summed == value:
+                    break
+                value = summed
+            unit_energy[unit] = value
+        # The clock constants below are computed exactly as end_cycle's
+        # idle branch computes them each cycle; same inputs, same floats.
+        cycle_s = self.table.cycle_seconds
+        idle = self.idle_fraction
+        clock_watts = self.table.max_watts[_CLOCK]
+        power = clock_watts * (idle + (1.0 - idle) * occupancy)
+        deltas = (
+            (self.usage_sum, occupancy),
+            (self.unit_energy, power * cycle_s),
+            (self.dynamic_energy, clock_watts * (1.0 - idle) * occupancy * cycle_s),
+        )
+        for accumulators, delta in deltas:
+            value = accumulators[_CLOCK]
+            for _ in range(count):
+                summed = value + delta
+                if summed == value:
+                    break
+                value = summed
+            accumulators[_CLOCK] = value
 
     def _ledger_of(self, instruction: DynamicInstruction) -> List[float]:
         ledger = self._thread_ledger

@@ -31,6 +31,9 @@ throttle         per-cycle residency of the effective fetch bandwidth
                  level (FULL/HALF/QUARTER/STALL) summed over threads
 threads          per-thread committed/fetched/wrong-path/squashed plus
                  a per-thread ROB occupancy sum (the SMT split)
+skip             cycles covered by the scheduler's next-event
+                 fast-forward, window count, and a power-of-two
+                 window-length histogram
 ===============  =====================================================
 
 Counters cover the *measured* window: ``Processor.reset_measurement``
@@ -66,6 +69,8 @@ class ProbeBus:
         "throttle_residency",
         # Per-thread ROB occupancy sums (index = thread id).
         "thread_rob_sum",
+        # Cycle-skip fast-forward accounting (next-event engine).
+        "skipped_cycles", "skip_windows", "skip_length_hist",
         # Writeback volume sampled before the stage drains its bucket.
         "_pending_writebacks", "writeback_drained", "writeback_active_cycles",
         # Stage instruction counters and active-cycle counters.
@@ -213,20 +218,31 @@ class ProbeBus:
             self.commit_active_cycles += 1
             self._last_committed = value
 
-    def idle_cycles(self, kernel, count: int, stalled: bool) -> None:
-        """Account a fast-forwarded stretch of provably idle cycles.
+    def idle_cycles(self, kernel, count: int) -> None:
+        """Account a fast-forwarded window of provably idle cycles.
 
-        The scheduler's cycle-skip only fires when every per-cycle
-        sample is constant across the stretch — latches empty, nothing
-        pending in the completion wheel, occupancies and throttle
-        levels frozen (no stage runs, so no controller hook fires) —
-        so the bus takes each sample once and scales it by ``count``.
-        The stage-delta bookkeeping needs no differencing: the only
-        statistic that moves during the stretch is the fetch
-        redirect-stall counter, folded in (with its last-seen value)
-        immediately so a run ending on a skip still reconciles.
+        The scheduler's next-event engine only fires when every
+        per-cycle sample is constant across the window — latches empty,
+        nothing pending in the completion wheel, occupancies and
+        throttle levels frozen (no stage runs, so no controller hook
+        fires) — so the bus takes each sample once and scales it by
+        ``count``.  The scheduler has already closed the window's
+        stall/throttle statistics in batch before calling here, so the
+        two fetch idle-regime counters are folded in by *differencing*
+        against their last-seen values — exactly the ``end_cycle``
+        bookkeeping, valid for any mix of redirect-stalled and
+        fetch-gated cycles (and a no-op on SMT windows, where an idle
+        cycle picks no thread and moves no machine-level counter) — so
+        a run ending on a skip still reconciles.  The window also feeds
+        the skip telemetry: total skipped cycles, window count, and a
+        power-of-two window-length histogram.
         """
         self.cycles += count
+        self.skipped_cycles += count
+        self.skip_windows += 1
+        bucket = 1 << (count.bit_length() - 1)
+        hist = self.skip_length_hist
+        hist[bucket] = hist.get(bucket, 0) + 1
         self.rob_occupancy_sum += kernel.rob_count * count
         self.iq_occupancy_sum += kernel.iq_count * count
         self.lsq_occupancy_sum += kernel.lsq_count * count
@@ -237,9 +253,17 @@ class ProbeBus:
         for controller in self._throttlers:
             residency[controller._fetch_level] += count
         residency[0] += self._unthrottled * count
-        if stalled:
-            self.redirect_stall_cycles += count
-            self._last_redirect += count
+        stats = kernel.stats
+        value = stats.redirect_stall_cycles
+        delta = value - self._last_redirect
+        if delta:
+            self.redirect_stall_cycles += delta
+            self._last_redirect = value
+        value = stats.fetch_throttled_cycles
+        delta = value - self._last_fetch_throttled
+        if delta:
+            self.fetch_throttled_cycles += delta
+            self._last_fetch_throttled = value
 
     # ------------------------------------------------------------------
     # Lifecycle and export
@@ -260,6 +284,9 @@ class ProbeBus:
         self.decode_latch_sum = 0
         self.throttle_residency = [0] * len(_LEVEL_NAMES)
         self.thread_rob_sum = [0] * self.nthreads
+        self.skipped_cycles = 0
+        self.skip_windows = 0
+        self.skip_length_hist = {}
         self._pending_writebacks = 0
         self.writeback_drained = 0
         self.writeback_active_cycles = 0
@@ -357,6 +384,16 @@ class ProbeBus:
             "throttle_residency": {
                 name: self.throttle_residency[index]
                 for index, name in enumerate(_LEVEL_NAMES)
+            },
+            "skip": {
+                "skipped_cycles": self.skipped_cycles,
+                "windows": self.skip_windows,
+                # Window lengths bucketed by power of two (key = bucket
+                # lower bound); JSON object keys must be strings.
+                "length_hist": {
+                    str(bucket): self.skip_length_hist[bucket]
+                    for bucket in sorted(self.skip_length_hist)
+                },
             },
             "threads": threads,
         }

@@ -28,6 +28,8 @@ from repro.experiments.engine import make_controller
 from repro.pipeline.config import table3_config
 from repro.pipeline.processor import Processor
 from repro.program.generator import ProgramGenerator, ProgramShape
+from repro.smt.core import SmtProcessor
+from repro.smt.policies import make_fetch_policy
 
 _TRIALS = tuple(range(8))
 _INSTRUCTIONS = 1200
@@ -100,6 +102,24 @@ class _CommitRecorder:
         )
 
 
+def _probe_groups(processor):
+    """The kernel-independent probe groups of an instrumented run.
+
+    The snapshot's ``skip`` block is deliberately excluded: the object
+    kernel never fast-forwards, so skip telemetry differs between the
+    kernels by construction while every other group must match.
+    """
+    if processor.probes is None:
+        return None
+    snapshot = processor.probes.snapshot()
+    return {
+        "stages": snapshot["stages"],
+        "occupancy": snapshot["occupancy"],
+        "throttle_residency": snapshot["throttle_residency"],
+        "threads": snapshot["threads"],
+    }
+
+
 def _run_kernel(trial: int, kernel: str):
     """One deterministic trial on the given kernel representation."""
     rng = random.Random(0x5EED0 + trial)
@@ -118,6 +138,7 @@ def _run_kernel(trial: int, kernel: str):
         "squashes": recorder.squashes,
         "stats": stats.as_dict(),
         "cycles": processor.cycle,
+        "probes": _probe_groups(processor),
         "total_energy": power.total_energy(),
         "wasted_energy": power.total_wasted_energy(),
         "average_power": power.average_power(),
@@ -172,3 +193,129 @@ def test_commits_are_observed_and_nonempty():
     assert len(payload["commits"]) >= _INSTRUCTIONS
     seqs = [seq for seq, _, _ in payload["commits"]]
     assert seqs == sorted(seqs), "commit sequence must be program-ordered"
+
+
+# ---------------------------------------------------------------------------
+# SMT equivalence: the fast-forward's machine-wide quiescence rules.
+#
+# A 2-thread core on the array kernel (which may skip) must match the
+# object kernel (which never skips) bit for bit — including per-thread
+# attribution, controller counters, the policy's gated-cycle counters
+# and the probe bus's throttle-level residency.  Mechanism, fetch policy
+# and stepper variant are assigned round-robin over the trials so every
+# interesting combination is guaranteed coverage (no draw collapse).
+# ---------------------------------------------------------------------------
+
+_SMT_TRIALS = tuple(range(6))
+_SMT_MECHANISMS = (None, ("throttle", "C2"), ("throttle", "A2"), ("gating", 2))
+_SMT_POLICIES = ("round-robin", "icount", "confidence-gating")
+
+
+def _run_smt_kernel(trial: int, kernel: str):
+    """One deterministic 2-thread trial on the given kernel."""
+    rng = random.Random(0x5A1D0 + trial)
+    shapes = (_draw_shape(rng), _draw_shape(rng))
+    config = replace(
+        _draw_config(rng),
+        kernel=kernel,
+        # Deterministic stepper coverage: half the trials instrumented,
+        # a third sanitized (trial 5 runs both).
+        telemetry=trial % 2 == 1,
+        sanitize=trial % 3 == 2,
+    )
+    spec = _SMT_MECHANISMS[trial % len(_SMT_MECHANISMS)]
+    policy = _SMT_POLICIES[trial % len(_SMT_POLICIES)]
+    programs = [
+        ProgramGenerator(
+            shape, seed=2000 + 10 * trial + index, name=f"smt{trial}t{index}"
+        ).generate()
+        for index, shape in enumerate(shapes)
+    ]
+    controllers = (
+        [make_controller(spec) for _ in programs] if spec is not None else None
+    )
+    processor = SmtProcessor(
+        config,
+        programs,
+        seeds=[88 + trial, 880 + trial],
+        controllers=controllers,
+        fetch_policy=make_fetch_policy(policy),
+    )
+    recorder = _CommitRecorder()
+    processor.observer = recorder
+    stats = processor.run(_INSTRUCTIONS, warmup_instructions=_WARMUP)
+    power = processor.power
+    payload = {
+        "commits": recorder.commits,
+        "squashes": recorder.squashes,
+        "stats": stats.as_dict(),
+        "cycles": processor.cycle,
+        "threads": [
+            {
+                "committed": thread.committed,
+                "fetched": thread.fetched,
+                "fetched_wrong_path": thread.fetched_wrong_path,
+                "squashed": thread.squashed,
+                "policy_gated_cycles": thread.policy_gated_cycles,
+            }
+            for thread in processor.threads
+        ],
+        "controllers": [
+            getattr(thread.controller, "gated_cycles", None)
+            for thread in processor.threads
+        ],
+        "probes": _probe_groups(processor),
+        "total_energy": power.total_energy(),
+        "wasted_energy": power.total_wasted_energy(),
+        "average_power": power.average_power(),
+        "breakdown": power.breakdown(),
+        "thread_attribution": power.thread_attribution(),
+    }
+    return payload, (spec, policy)
+
+
+@pytest.mark.parametrize("trial", _SMT_TRIALS)
+def test_random_smt_micro_programs_commit_identically(trial):
+    object_payload, combo = _run_smt_kernel(trial, "object")
+    array_payload, _ = _run_smt_kernel(trial, "array")
+    spec, policy = combo
+    label = f"smt trial {trial} ({spec or 'baseline'}, {policy})"
+    assert object_payload["commits"] == array_payload["commits"], (
+        f"{label}: committed instruction sequences diverge between kernels"
+    )
+    assert object_payload["squashes"] == array_payload["squashes"], (
+        f"{label}: squash sequences diverge between kernels"
+    )
+    assert object_payload["stats"] == array_payload["stats"], (
+        f"{label}: statistics diverge between kernels"
+    )
+    assert object_payload["threads"] == array_payload["threads"], (
+        f"{label}: per-thread attribution diverges between kernels"
+    )
+    assert object_payload["controllers"] == array_payload["controllers"], (
+        f"{label}: controller gated-cycle counters diverge between kernels"
+    )
+    assert object_payload["probes"] == array_payload["probes"], (
+        f"{label}: probe groups (incl. throttle residency) diverge"
+    )
+    assert _fingerprint(object_payload) == _fingerprint(array_payload), (
+        f"{label}: full result payloads diverge between kernels"
+    )
+
+
+def test_smt_trials_cover_mechanisms_policies_and_checked_steppers():
+    """The round-robin assignment must hit the modes that matter."""
+    combos = set()
+    telemetry = sanitize = False
+    for trial in _SMT_TRIALS:
+        spec = _SMT_MECHANISMS[trial % len(_SMT_MECHANISMS)]
+        policy = _SMT_POLICIES[trial % len(_SMT_POLICIES)]
+        combos.add((spec, policy))
+        telemetry = telemetry or trial % 2 == 1
+        sanitize = sanitize or trial % 3 == 2
+    mechanisms = {spec for spec, _ in combos}
+    policies = {policy for _, policy in combos}
+    assert ("gating", 2) in mechanisms, "pipeline gating must be exercised"
+    assert ("throttle", "C2") in mechanisms, "C2 throttling must be exercised"
+    assert "confidence-gating" in policies, "the gating policy must be exercised"
+    assert telemetry and sanitize, "both checked steppers must be exercised"

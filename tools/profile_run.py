@@ -6,7 +6,7 @@ Future performance PRs should start from data, not intuition::
     PYTHONPATH=src python tools/profile_run.py                 # defaults
     PYTHONPATH=src python tools/profile_run.py --benchmark gcc \
         --experiment C2 --instructions 40000 --top 30
-    PYTHONPATH=src python tools/profile_run.py --mix mix2-hard  # SMT core
+    PYTHONPATH=src python tools/profile_run.py --mix mix2-branchy  # SMT core
     PYTHONPATH=src python tools/profile_run.py --save run.pstats
 
 The run goes through :func:`repro.experiments.engine.simulate` (or
@@ -21,7 +21,14 @@ active-cycle counts, answering "which stage costs the time, and is it
 busy or just ticking?" without tracing overhead::
 
     PYTHONPATH=src python tools/profile_run.py --stage-timers
-    PYTHONPATH=src python tools/profile_run.py --stage-timers --mix mix2-hard
+    PYTHONPATH=src python tools/profile_run.py --stage-timers --mix mix2-branchy
+
+``--skip-stats`` (combinable with ``--stage-timers``) reports what the
+scheduler's next-event cycle skip covered, from the probe bus's skip
+counters: the skipped-cycle fraction and a power-of-two window-length
+histogram::
+
+    PYTHONPATH=src python tools/profile_run.py --skip-stats --experiment C2
 """
 
 from __future__ import annotations
@@ -108,19 +115,36 @@ def _make_parser() -> argparse.ArgumentParser:
         "instead of cProfile (stage tick timers + probe-bus active "
         "cycles; no tracing overhead)",
     )
+    parser.add_argument(
+        "--skip-stats", action="store_true",
+        help="cycle-skip fast-forward report from the probe bus instead "
+        "of cProfile: skipped-cycle fraction and a window-length "
+        "histogram (combines with --stage-timers)",
+    )
     return parser
 
 
-def _run_stage_timers(cell, label: str, smt: bool) -> int:
-    """The ``--stage-timers`` mode: timed ticks + probe active cycles."""
+def _run_telemetry_modes(
+    cell, label: str, smt: bool, stage_timers: bool, skip_stats: bool
+) -> int:
+    """The probe-bus modes: one instrumented run feeds every report."""
     from repro.experiments.engine import build_processor, build_smt_processor
     from repro.telemetry.timers import StageTimers
 
     processor = build_smt_processor(cell) if smt else build_processor(cell)
-    timers = StageTimers(processor).attach()
+    timers = StageTimers(processor).attach() if stage_timers else None
     processor.run(cell.instructions, warmup_instructions=cell.warmup)
 
     snapshot = processor.probes.snapshot()
+    if timers is not None:
+        _print_stage_timers(snapshot, timers, label)
+    if skip_stats:
+        _print_skip_stats(snapshot, label)
+    return 0
+
+
+def _print_stage_timers(snapshot: dict, timers, label: str) -> None:
+    """The ``--stage-timers`` report: timed ticks + probe active cycles."""
     cycles = snapshot["cycles"]
     total = timers.total_seconds
     print(
@@ -137,7 +161,32 @@ def _run_stage_timers(cell, label: str, smt: bool) -> int:
             f"{name:<14s} {seconds:8.3f} {share * 100:6.1f}% "
             f"{calls:9d} {active:9d} {busy * 100:5.1f}%"
         )
-    return 0
+
+
+def _print_skip_stats(snapshot: dict, label: str) -> None:
+    """The ``--skip-stats`` report: what the next-event engine covered."""
+    skip = snapshot["skip"]
+    cycles = snapshot["cycles"]
+    skipped = skip["skipped_cycles"]
+    windows = skip["windows"]
+    fraction = skipped / cycles if cycles else 0.0
+    print(
+        f"cycle-skip for {label}: {skipped} of {cycles} measured cycles "
+        f"fast-forwarded ({fraction * 100:.1f}%) across {windows} windows"
+    )
+    hist = skip["length_hist"]
+    if not windows or not hist:
+        print("  (no windows — the machine never went provably idle)")
+        return
+    print(f"  mean window {skipped / windows:.1f} cycles; length histogram:")
+    peak = max(hist.values())
+    for bucket in sorted(hist, key=int):
+        low = int(bucket)
+        high = 2 * low - 1
+        count = hist[bucket]
+        bar = "#" * max(1, round(40 * count / peak))
+        span = f"{low}" if high == low else f"{low}-{high}"
+        print(f"  {span:>12s} {count:8d}  {bar}")
 
 
 def _active_cycles(snapshot: dict, stage_name: str) -> int:
@@ -174,9 +223,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Before the cell is built: ProcessorConfig reads the environment
         # at construction time.
         os.environ["REPRO_SANITIZE"] = "1"
-    if options.stage_timers:
-        # Same pre-construction rule: the probe bus (active-cycle
-        # counters) attaches only when the config sees telemetry on.
+    if options.stage_timers or options.skip_stats:
+        # Same pre-construction rule: the probe bus (active-cycle and
+        # skip counters) attaches only when the config sees telemetry on.
         os.environ["REPRO_TELEMETRY"] = "1"
 
     if options.mix:
@@ -213,8 +262,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         target = lambda: simulate(cell)  # noqa: E731
         label = f"{cell.benchmark} under {cell.effective_label} ({options.supply} supply)"
 
-    if options.stage_timers:
-        return _run_stage_timers(cell, label, smt=bool(options.mix))
+    if options.stage_timers or options.skip_stats:
+        return _run_telemetry_modes(
+            cell, label, smt=bool(options.mix),
+            stage_timers=options.stage_timers,
+            skip_stats=options.skip_stats,
+        )
 
     print(
         f"profiling {label}: {cell.instructions} instructions "
