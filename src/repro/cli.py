@@ -556,7 +556,9 @@ def _cmd_cache(options) -> None:
         print(f"  misses        {stats['misses']}")
         print(f"  stores        {stats['stores']}")
         print(f"  evictions     {stats['evictions']}")
-        print(f"  hit rate      {stats['hit_rate'] * 100:.1f}%")
+        print(f"  hit rate      {stats['hit_rate'] * 100:.1f}%"
+              f" (memory {stats['memory_hit_rate'] * 100:.1f}%,"
+              f" disk {stats['disk_hit_rate'] * 100:.1f}%)")
         return
     dropped = cache.prune(options.days, max_bytes=options.max_bytes)
     cache.flush_stats()

@@ -562,7 +562,9 @@ def smt_baseline_cells(cell: SmtCell) -> List[SimCell]:
 # array/object stage representation (tests/test_kernel_equivalence.py),
 # and hashing any of them would split the cache by debug/observability/
 # representation mode.
-_NON_RESULT_FIELDS = frozenset({"sanitize", "telemetry", "kernel", "cycle_skip"})
+_NON_RESULT_FIELDS = frozenset(
+    {"sanitize", "telemetry", "kernel", "cycle_skip", "run_batch"}
+)
 
 
 def _config_items(config: ProcessorConfig) -> List[Tuple[str, object]]:
@@ -867,6 +869,15 @@ class ResultCache:
         combined: Dict[str, float] = dict(totals)
         combined["memory_evictions"] = self.memory_evictions
         combined["hit_rate"] = totals["hits"] / accesses if accesses else 0.0
+        # Per-tier rates: the memory tier sees every access; the disk
+        # tier only sees what the memory tier missed.
+        combined["memory_hit_rate"] = (
+            totals["memory_hits"] / accesses if accesses else 0.0
+        )
+        disk_accesses = accesses - totals["memory_hits"]
+        combined["disk_hit_rate"] = (
+            totals["disk_hits"] / disk_accesses if disk_accesses else 0.0
+        )
         return combined
 
     # -- maintenance (the `repro cache` subcommands) --------------------

@@ -38,6 +38,7 @@ structures every cycle.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional, Tuple
 
 from repro.bpred.base import BranchPredictor
@@ -153,6 +154,7 @@ class ThreadContext:
         "ctrl_has_fetch_hook", "ctrl_has_resolve_hook",
         "ctrl_has_squash_hook", "ctrl_blocks_wp_fetch",
         "fetch_mode", "true_index", "wp_cursor", "wp_packet", "wp_pos",
+        "wp_template", "run_queue",
         "wp_salt", "fetch_stall_until", "unresolved_mispredicts",
         "fetch_buffer", "fetch_latch", "decode_latch", "fetch_entries",
         "decode_entries", "renamer", "rob", "rob_entries", "iq", "lsq",
@@ -221,6 +223,13 @@ class ThreadContext:
         self.wp_cursor = None
         self.wp_packet = None
         self.wp_pos = 0
+        # Run batching (array kernel): the template of the in-progress
+        # wrong-path packet, and the queue of (first_seq, count, mem_count,
+        # src_count) run descriptors fetch pushed for rename to consume.
+        # Descriptors only ever name latch-resident instructions; branch
+        # recovery squashes the latches wholesale and clears the queue.
+        self.wp_template = None
+        self.run_queue = deque()
         self.wp_salt = 0
         self.fetch_stall_until = 0
         self.unresolved_mispredicts = 0

@@ -136,6 +136,55 @@ def test_cache_hits_simulate_nothing(tmp_path, serial_results):
     assert warm.batches_dispatched == 0
 
 
+def test_cache_stats_report_per_tier_hit_rates(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    stats = cache.stats()
+    # Cold cache: every rate must be a well-defined zero, not a division
+    # by a zero denominator.
+    assert stats["hit_rate"] == 0.0
+    assert stats["memory_hit_rate"] == 0.0
+    assert stats["disk_hit_rate"] == 0.0
+
+    cold = SweepScheduler(cache=cache)
+    cold.run(_grid())
+    # Same process: the second sweep hits the in-memory tier for every
+    # cell, so the memory rate climbs while disk stays untouched.
+    warm = SweepScheduler(cache=cache)
+    warm.run(_grid())
+    stats = cache.stats()
+    assert stats["memory_hits"] > 0
+    assert stats["memory_hit_rate"] == stats["memory_hits"] / (
+        stats["hits"] + stats["misses"]
+    )
+    assert stats["disk_hits"] == 0 and stats["disk_hit_rate"] == 0.0
+
+    # A fresh ResultCache over the same directory has an empty memory
+    # tier, so the same grid now hits disk: the disk rate is conditional
+    # on the memory tier missing and must come out at 100%.
+    disk_cache = ResultCache(str(tmp_path))
+    disk = SweepScheduler(cache=disk_cache)
+    disk.run(_grid())
+    stats = disk_cache.stats()
+    assert stats["disk_hits"] >= len(_grid())
+    accesses = stats["hits"] + stats["misses"]
+    disk_accesses = accesses - stats["memory_hits"]
+    assert stats["disk_hit_rate"] == stats["disk_hits"] / disk_accesses
+
+
+def test_cache_info_formats_tier_hit_rates(tmp_path, capsys):
+    from repro import cli
+
+    cache = ResultCache(str(tmp_path))
+    warm = SweepScheduler(cache=cache)
+    warm.run(_grid())
+    warm.run(_grid())
+    cache.flush_stats()
+    assert cli.main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    line = next(l for l in out.splitlines() if l.strip().startswith("hit rate"))
+    assert "memory" in line and "disk" in line and line.count("%") == 3
+
+
 def test_scheduler_rejects_zero_jobs():
     with pytest.raises(ExperimentError):
         SweepScheduler(jobs=0)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import os
 import pstats
 import sys
@@ -52,7 +53,7 @@ from repro.experiments.engine import (
 from repro.smt.mixes import MIX_NAMES
 from repro.workloads.suite import BENCHMARK_NAMES
 
-SORT_KEYS = ("cumulative", "tottime", "ncalls")
+SORT_KEYS = ("cumulative", "cumtime", "tottime", "ncalls")
 SUPPLY_CHOICES = ("compiled", "live", "trace")
 
 
@@ -98,11 +99,18 @@ def _make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--sort", default="cumulative", choices=SORT_KEYS,
-        help="pstats sort key (default: cumulative)",
+        help="pstats sort key; cumtime is an alias of cumulative "
+        "(default: cumulative)",
     )
     parser.add_argument(
         "--save", default=None,
         help="also write the raw profile to this pstats file",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write a machine-readable hotspot export: the --top "
+        "functions by self time (tottime), with ncalls, cumtime and "
+        "each function's share of total self time",
     )
     parser.add_argument(
         "--sanitize", action="store_true",
@@ -289,7 +297,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.save:
         stats.dump_stats(options.save)
         print(f"wrote {options.save}")
+    if options.json:
+        payload = hotspot_export(stats, options.top, label, committed, wall)
+        with open(options.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {options.json}")
     return 0
+
+
+def hotspot_export(
+    stats: pstats.Stats, top: int, label: str, committed: int, wall: float
+) -> dict:
+    """The ``--json`` payload: the top leaves of the profile by self time.
+
+    Self time (``tottime``) attributes cost to the function whose frames
+    actually burned it, so the export is the machine-readable answer to
+    "where does the wall clock go" — the view A/B comparisons of stage
+    costs (e.g. fetch with run batching on vs off) diff against.
+    """
+    total_tt = sum(row[2] for row in stats.stats.values()) or 1.0
+    leaves = sorted(
+        stats.stats.items(), key=lambda item: item[1][2], reverse=True
+    )
+    hotspots = [
+        {
+            "file": file,
+            "line": line,
+            "function": function,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": tt,
+            "cumtime": ct,
+            "tottime_share": tt / total_tt,
+        }
+        for (file, line, function), (cc, nc, tt, ct, _) in leaves[:top]
+    ]
+    return {
+        "schema": 1,
+        "label": label,
+        "committed": committed,
+        "seconds": wall,
+        "total_tottime": total_tt,
+        "hotspots": hotspots,
+    }
 
 
 if __name__ == "__main__":
